@@ -1,0 +1,8 @@
+"""Ablation: sensitivity of dHSL-balance to the monitoring epoch length."""
+
+from repro.experiments.figures import ablation_balance_thresholds
+
+
+def test_ablation_balance_epoch(regenerate):
+    result = regenerate(ablation_balance_thresholds, workloads=["SYRK"])
+    assert result.rows

@@ -1,0 +1,14 @@
+"""Ablation (Section V): switching costs vs magically free switching.
+
+The paper found < 1% difference between real asynchronous switching and
+a hypothetical instantaneous switch.
+"""
+
+from repro.experiments.figures import ablation_switch_cost
+
+
+def test_ablation_switch_cost(regenerate):
+    result = regenerate(ablation_switch_cost, workloads=["SYRK", "SYR2"])
+    for row in result.rows:
+        # Free switching should be within a few percent of the real thing.
+        assert 0.8 < row[2] < 1.25

@@ -1,0 +1,10 @@
+"""Section VII extension: MGvm under UVM demand paging."""
+
+from repro.experiments.figures import extension_uvm
+
+
+def test_extension_uvm(regenerate):
+    result = regenerate(extension_uvm)
+    for row in result.rows:
+        shared_remote, mgvm_remote = row[4], row[5]
+        assert mgvm_remote <= shared_remote + 0.05

@@ -1,0 +1,8 @@
+"""Figure 3: throughput of private vs shared TLB, normalized to private."""
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3(regenerate):
+    result = regenerate(figure3)
+    assert result.rows[-1][0] == "Gmean"

@@ -1,0 +1,11 @@
+"""Figure 4: breakdown of L1 TLB miss cycles into the four paper buckets."""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4(regenerate):
+    result = regenerate(figure4)
+    # Private rows never contain remote-hit cycles.
+    for row in result.rows:
+        if row[1] == "private":
+            assert row[3] == 0.0

@@ -1,0 +1,9 @@
+"""Figure 5: page-walk accesses local vs remote (private, shared)."""
+
+from repro.experiments.figures import figure5
+
+
+def test_figure5(regenerate):
+    result = regenerate(figure5)
+    for row in result.rows:
+        assert abs(row[2] + row[3] - 1.0) < 1e-9

@@ -1,0 +1,10 @@
+"""Figure 7: throughput of the four main designs (the headline result)."""
+
+from repro.experiments.figures import figure7
+
+
+def test_figure7(regenerate):
+    result = regenerate(figure7)
+    gmean = result.rows[-1]
+    # The headline shape: MGvm at or above both static designs on average.
+    assert gmean[4] >= gmean[1] * 0.95

@@ -1,0 +1,9 @@
+"""Figure 8: local vs remote L2 TLB hits, shared vs MGvm."""
+
+from repro.experiments.figures import figure8
+
+
+def test_figure8(regenerate):
+    result = regenerate(figure8)
+    for row in result.rows:
+        assert abs(row[2] + row[3] - 1.0) < 1e-9

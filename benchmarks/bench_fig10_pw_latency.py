@@ -1,0 +1,8 @@
+"""Figure 10: average page-walk latency, normalized to private."""
+
+from repro.experiments.figures import figure10
+
+
+def test_figure10(regenerate):
+    result = regenerate(figure10)
+    assert result.rows[-1][0] == "Gmean"

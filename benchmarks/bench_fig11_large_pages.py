@@ -1,0 +1,10 @@
+"""Figure 11: throughput with 64 KB pages on the paper's subset."""
+
+from repro.experiments.figures import LARGE_PAGE_WORKLOADS, figure11
+from conftest import BENCH_WORKLOADS
+
+
+def test_figure11(regenerate):
+    subset = [w for w in LARGE_PAGE_WORKLOADS if w in BENCH_WORKLOADS] or ["MT"]
+    result = regenerate(figure11, workloads=subset, mult=2)
+    assert result.rows[-1][0] == "Gmean"

@@ -1,0 +1,10 @@
+"""Figure 12: MGvm sensitivity (TLB size, walkers, link latency) vs private."""
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(regenerate):
+    result = regenerate(figure12)
+    assert result.headers[1:] == [
+        "double_tlb", "double_walkers", "half_latency", "double_latency",
+    ]

@@ -1,0 +1,8 @@
+"""Figure 13: MGvm sensitivity variants, normalized to shared."""
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13(regenerate):
+    result = regenerate(figure13)
+    assert result.rows[-1][0] == "Gmean"

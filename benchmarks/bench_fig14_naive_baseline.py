@@ -1,0 +1,10 @@
+"""Figure 14: our techniques under a naive round-robin baseline."""
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14(regenerate):
+    result = regenerate(figure14)
+    gmean = result.rows[-1]
+    # MGvm-RR must beat the private RR baseline on average (paper: +113%).
+    assert gmean[3] > gmean[1]

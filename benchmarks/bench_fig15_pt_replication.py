@@ -1,0 +1,8 @@
+"""Figure 15: MGvm vs page-table replication (PW-all-local)."""
+
+from repro.experiments.figures import figure15
+
+
+def test_figure15(regenerate):
+    result = regenerate(figure15)
+    assert result.headers[1:] == ["private-ptr", "shared-ptr", "mgvm"]

@@ -1,0 +1,11 @@
+"""Table III: L2 TLB MPKI under private, shared and MGvm."""
+
+from repro.experiments.figures import table3
+
+
+def test_table3(regenerate):
+    result = regenerate(table3)
+    for row in result.rows:
+        private, shared, _mgvm = row[1], row[2], row[3]
+        # Aggregate capacity can only lower the miss rate.
+        assert shared <= private * 1.2

@@ -1,0 +1,54 @@
+"""Shared infrastructure for the per-figure benchmark targets.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+rows it reports.  The scale is controlled with ``REPRO_BENCH_SCALE``
+(default ``smoke`` so the suite completes in minutes; use ``default``
+for the numbers recorded in EXPERIMENTS.md, or ``paper`` for the closest
+match to Table II footprints).
+
+Runs are memoized in a session-wide runner, so figures that share
+simulations (most of them) only pay once.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+# Keep the benchmark suite representative but quick: a subset spanning
+# every regime (streaming NL, RCL with imbalance, random thrash, graph).
+BENCH_WORKLOADS = ["J1D", "MT", "GUPS", "SPMV", "MIS", "SYRK"]
+if os.environ.get("REPRO_BENCH_ALL"):
+    from repro.workloads.registry import WORKLOAD_NAMES
+
+    BENCH_WORKLOADS = list(WORKLOAD_NAMES)
+
+_RUNNER = None
+
+
+@pytest.fixture(scope="session")
+def runner():
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = ExperimentRunner(scale=BENCH_SCALE)
+    return _RUNNER
+
+
+@pytest.fixture
+def regenerate(runner, benchmark, capsys):
+    """Benchmark a figure function once and print its rows."""
+
+    def run(figure_fn, **kwargs):
+        kwargs.setdefault("workloads", BENCH_WORKLOADS)
+        result = benchmark.pedantic(
+            lambda: figure_fn(runner, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.text())
+        return result
+
+    return run

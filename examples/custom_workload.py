@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Define your own GPU kernel and run it through the full VM stack.
+
+Shows the public workload API: describe allocations (with an optional
+LASP block-size hint standing in for static index analysis), write a
+trace function emitting each CTA's coalesced accesses, pick a LASP class
+and CTA partition — then simulate under any design.
+
+The example kernel is a tiled histogram: every CTA streams its own input
+tile (perfectly partitionable) while updating a small shared bin array
+from every chiplet, a miniature version of the mixed locality that makes
+MCM virtual memory interesting.
+"""
+
+import numpy as np
+
+from repro import design, scaled_params, simulate
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    interleave,
+    streaming,
+    tile_of,
+    uniform_random,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def histogram_trace(cta_id, ctx):
+    """One CTA: stream an input tile, scatter updates into shared bins."""
+    rng = ctx.rng(cta_id)
+    start, extent = tile_of(cta_id, ctx.num_ctas, ctx.size("input"))
+    count = min(256, extent // 64)
+    reads = streaming(ctx.base("input"), start, count, stride=64)
+    updates = uniform_random(rng, ctx.base("bins"), ctx.size("bins"), count)
+    return interleave(reads, updates)
+
+
+def build_histogram():
+    return KernelSpec(
+        name="HIST",
+        lasp_class="NL",  # the dominant (input) allocation partitions cleanly
+        allocations=[
+            AllocationSpec("input", 8 * MB),
+            AllocationSpec("bins", 256 * KB),
+        ],
+        num_ctas=256,
+        trace=histogram_trace,
+        compute_gap=2,
+        cta_partition="blocked",
+        notes="Tiled histogram: streamed tiles + shared bin scatter.",
+    )
+
+
+def main():
+    kernel = build_histogram()
+    params = scaled_params("smoke")
+    print("Custom kernel %r: %.1f MB over %d allocations, %d CTAs" % (
+        kernel.name,
+        kernel.footprint / MB,
+        len(kernel.allocations),
+        kernel.num_ctas,
+    ))
+    print()
+    baseline = None
+    for name in ("private", "shared", "mgvm"):
+        stats = simulate(kernel, params, design(name))
+        baseline = baseline or stats.throughput
+        print(
+            "%-8s speedup %.2fx  mpki %7.1f  local-hit %4.0f%%  remote-PW %4.0f%%"
+            % (
+                name,
+                stats.throughput / baseline,
+                stats.mpki,
+                100 * stats.local_hit_fraction,
+                100 * stats.pw_remote_fraction,
+            )
+        )
+    print()
+    print("The shared bin array pulls lookups off-chiplet; MGvm keeps the")
+    print("streamed tiles local and pins their leaf PTEs to the home slice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerate every figure/table of the paper at the given scale and
+write the text tables under results/figures_<scale>/."""
+
+import os
+import sys
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import ExperimentRunner
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    outdir = "results/figures_%s" % scale
+    os.makedirs(outdir, exist_ok=True)
+    runner = ExperimentRunner(
+        scale=scale, cache_path="results/runs_%s.json" % scale, verbose=True
+    )
+    for name, figure_fn in ALL_FIGURES.items():
+        t0 = time.time()
+        result = figure_fn(runner)
+        text = result.text()
+        with open(os.path.join(outdir, name + ".txt"), "w") as handle:
+            handle.write(text + "\n")
+        print("== %s done in %.0fs" % (name, time.time() - t0), flush=True)
+    print("ALL FIGURES DONE")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: environments without the `wheel` package (and
+without network access) cannot do PEP 517 editable installs, so install
+with `pip install -e . --no-use-pep517 --no-build-isolation`."""
+
+from setuptools import setup
+
+setup()

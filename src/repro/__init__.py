@@ -1,0 +1,38 @@
+"""repro — reproduction of "Designing Virtual Memory System of MCM GPUs".
+
+A trace-driven, discrete-event simulator of a multi-chip-module GPU's
+virtual memory system, plus the paper's proposal (MGvm: dHSL,
+dHSL-coarse, dHSL-balance), baselines, 15 workloads, and an experiment
+harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import build_kernel, design, scaled_params, simulate
+
+    kernel = build_kernel("GUPS", scale="smoke")
+    params = scaled_params("smoke")
+    stats = simulate(kernel, params, design("mgvm"))
+    print(stats.throughput, stats.mpki)
+"""
+
+from repro.arch.params import GPUParams, scaled_params
+from repro.core.config import DESIGNS, VMDesign, design
+from repro.sim.simulator import Simulator, simulate
+from repro.stats.counters import RunStats
+from repro.workloads.registry import WORKLOAD_NAMES, build_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUParams",
+    "scaled_params",
+    "DESIGNS",
+    "VMDesign",
+    "design",
+    "Simulator",
+    "simulate",
+    "RunStats",
+    "WORKLOAD_NAMES",
+    "build_kernel",
+    "__version__",
+]

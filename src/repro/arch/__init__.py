@@ -1,0 +1,6 @@
+"""Architectural organization of the simulated MCM GPU."""
+
+from repro.arch.params import GPUParams, scaled_params
+from repro.arch.interconnect import Interconnect
+
+__all__ = ["GPUParams", "scaled_params", "Interconnect"]

@@ -1,0 +1,50 @@
+"""In-package interconnect between chiplets.
+
+The paper models 768 GB/s of bi-directional bandwidth between any pair of
+chiplets with ~32 ns latency, and notes the bandwidth is adequate — the
+latency is what hurts.  We charge a fixed per-hop latency and count
+crossings (per requester/kind) so experiments can report remote-traffic
+fractions; an optional per-link issue interval enables bandwidth
+contention for sensitivity studies.
+
+The RTU (Remote Translation Unit) and RMA (Remote Memory Access) units of
+each chiplet are the endpoints: translation traffic and data traffic are
+counted separately.
+"""
+
+from repro.engine.resources import Timeline
+
+
+class Interconnect:
+    """All-to-all chiplet links with fixed hop latency."""
+
+    def __init__(self, num_chiplets, link_latency=32.0, issue_interval=None):
+        self.num_chiplets = num_chiplets
+        self.link_latency = float(link_latency)
+        self._links = None
+        if issue_interval is not None:
+            self._links = {
+                (src, dst): Timeline(issue_interval)
+                for src in range(num_chiplets)
+                for dst in range(num_chiplets)
+                if src != dst
+            }
+        self.crossings = {"translation": 0, "data": 0, "control": 0}
+
+    def traverse(self, src, dst, at, kind="translation"):
+        """Time at which a message sent at ``at`` arrives at ``dst``."""
+        if src == dst:
+            return at
+        self.crossings[kind] += 1
+        if self._links is not None:
+            start = self._links[(src, dst)].reserve(at)
+        else:
+            start = at
+        return start + self.link_latency
+
+    def round_trip(self, src, dst):
+        """Added latency of going to ``dst`` and back (0 if local)."""
+        return 0.0 if src == dst else 2 * self.link_latency
+
+    def total_crossings(self):
+        return sum(self.crossings.values())

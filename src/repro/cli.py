@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Mirrors the paper artifact's scripts:
+
+* ``python -m repro list`` — workloads (Table II) and design points;
+* ``python -m repro run GUPS --designs private shared mgvm`` — simulate
+  one workload and print the headline metrics per design;
+* ``python -m repro figure figure7 --scale default`` — regenerate one of
+  the paper's figures/tables;
+* ``python -m repro sweep --out results.csv`` — the artifact's
+  collect-and-normalize flow (raw + normalized CSVs).
+"""
+
+import argparse
+import sys
+
+from repro.arch.params import SCALES, scaled_params
+from repro.core.config import DESIGNS, design
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.simulator import simulate
+from repro.stats.export import write_normalized_csv, write_raw_csv
+from repro.stats.report import format_table
+from repro.workloads.registry import WORKLOAD_NAMES, build_kernel, workload_metadata
+
+MAIN_DESIGNS = ["private", "shared", "mgvm-nobalance", "mgvm"]
+
+
+def _add_scale(parser):
+    parser.add_argument(
+        "--scale", default="default", choices=sorted(SCALES), help="machine/workload scale"
+    )
+
+
+def cmd_list(_args):
+    rows = [
+        [name, meta.benchmark, meta.suite, meta.paper_mb, meta.lasp_class]
+        for name, meta in (
+            (n, workload_metadata(n)) for n in WORKLOAD_NAMES
+        )
+    ]
+    print(format_table(["abbr", "benchmark", "suite", "MB", "class"], rows))
+    print()
+    rows = [[name, d.description] for name, d in sorted(DESIGNS.items())]
+    print(format_table(["design", "description"], rows))
+    return 0
+
+
+def cmd_run(args):
+    params = scaled_params(args.scale)
+    kernel = build_kernel(args.workload, scale=args.scale)
+    rows = []
+    baseline = None
+    for name in args.designs:
+        stats = simulate(kernel, params, design(name), seed=args.seed)
+        if baseline is None:
+            baseline = stats.throughput or 1.0
+        rows.append(
+            [
+                name,
+                stats.throughput / baseline,
+                stats.mpki,
+                stats.l2_hit_rate,
+                stats.local_hit_fraction,
+                stats.pw_remote_fraction,
+                len(stats.balance_switches),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "design",
+                "speedup",
+                "mpki",
+                "l2_hit",
+                "local_hit",
+                "pw_remote",
+                "switches",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_figure(args):
+    runner = ExperimentRunner(scale=args.scale, cache_path=args.cache)
+    figure_fn = ALL_FIGURES[args.name]
+    kwargs = {}
+    if args.workloads:
+        kwargs["workloads"] = args.workloads
+    result = figure_fn(runner, **kwargs)
+    text = result.text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+def cmd_sweep(args):
+    runner = ExperimentRunner(scale=args.scale, cache_path=args.cache, verbose=True)
+    workloads = args.workloads or list(WORKLOAD_NAMES)
+    records = [
+        runner.run(workload, design_name)
+        for workload in workloads
+        for design_name in args.designs
+    ]
+    write_raw_csv(records, args.out)
+    normalized = args.out.replace(".csv", "") + ".normalized.csv"
+    write_normalized_csv(records, normalized, baseline_design=args.designs[0])
+    print("wrote %s and %s" % (args.out, normalized))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MCM GPU virtual-memory simulator (MICRO 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and design points")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    run_p.add_argument("--designs", nargs="+", default=MAIN_DESIGNS,
+                       choices=sorted(DESIGNS))
+    run_p.add_argument("--seed", type=int, default=0)
+    _add_scale(run_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig_p.add_argument("name", choices=sorted(ALL_FIGURES))
+    fig_p.add_argument("--workloads", nargs="*", choices=list(WORKLOAD_NAMES))
+    fig_p.add_argument("--out", help="also write the table to this file")
+    fig_p.add_argument("--cache", help="JSON run-cache path")
+    _add_scale(fig_p)
+
+    sweep_p = sub.add_parser("sweep", help="run a workload/design matrix to CSV")
+    sweep_p.add_argument("--workloads", nargs="*", choices=list(WORKLOAD_NAMES))
+    sweep_p.add_argument("--designs", nargs="+", default=MAIN_DESIGNS,
+                         choices=sorted(DESIGNS))
+    sweep_p.add_argument("--out", default="results.csv")
+    sweep_p.add_argument("--cache", help="JSON run-cache path")
+    _add_scale(sweep_p)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "sweep": cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that exited early.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

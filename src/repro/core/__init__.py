@@ -1,0 +1,31 @@
+"""MGvm — the paper's primary contribution.
+
+Home-slice-selection (HSL) functions, the launch-time MGvm algorithm
+(Listing 1 of the paper), the runtime dHSL-balance machinery (Listing 2),
+and the named virtual-memory design points used throughout the evaluation.
+"""
+
+from repro.core.hsl import (
+    PrivateHSL,
+    InterleaveHSL,
+    DynamicHSL,
+    shared_default_hsl,
+)
+from repro.core.config import VMDesign, DESIGNS, design
+from repro.core.mgvm import choose_dhsl_granularity, MGvmLaunchPlan, plan_kernel_launch
+from repro.core.balance import BalanceController, BalanceParams
+
+__all__ = [
+    "PrivateHSL",
+    "InterleaveHSL",
+    "DynamicHSL",
+    "shared_default_hsl",
+    "VMDesign",
+    "DESIGNS",
+    "design",
+    "choose_dhsl_granularity",
+    "MGvmLaunchPlan",
+    "plan_kernel_launch",
+    "BalanceController",
+    "BalanceParams",
+]

@@ -1,0 +1,175 @@
+"""Named virtual-memory design points.
+
+Every configuration the paper evaluates is a :class:`VMDesign` preset:
+
+====================  ==========================================================
+``private``           Private L2 TLBs; PTE pages follow data placement.
+``shared``            Shared L2 TLB (page-interleave HSL); PTEs follow data.
+``mgvm-nobalance``    dHSL + dHSL-coarse + HSL-guided PTE placement.
+``mgvm``              Full MGvm (adds dHSL-balance runtime switching).
+``mgvm-rr``           MGvm's PTE placement under a naive round-robin
+                      baseline (Figure 14; the LASP-guided dHSL is
+                      inapplicable, so the HSL is a coarse 2 MB interleave
+                      with PTEs placed per that HSL).
+``private-ptr``       Private TLB with a replicated page table (all PTE
+                      accesses local; Figure 15).
+``shared-ptr``        Shared TLB with a replicated page table (Figure 15).
+``remote-caching``    Shared TLB that additionally caches remote entries in
+                      the local slice (Figure 16).
+``private-naive-pte`` Private TLB with round-robin PTE placement (the
+                      ablation behind the 64% claim in Section III).
+====================  ==========================================================
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VMDesign:
+    """A point in the paper's VM design space."""
+
+    name: str
+    hsl_mode: str = "private"  # private | shared | dhsl
+    pte_policy: str = "follow_data"  # follow_data | round_robin | hsl | replicated
+    balance: bool = False
+    remote_tlb_caching: bool = False
+    cta_policy: str = "lasp"  # lasp | round_robin
+    data_policy: str = "lasp"  # lasp | round_robin | first_touch
+    demand_paging: bool = False  # UVM: pages placed by the fault handler
+    description: str = ""
+
+    def __post_init__(self):
+        if self.hsl_mode not in ("private", "shared", "dhsl"):
+            raise ValueError("bad hsl_mode %r" % self.hsl_mode)
+        if self.pte_policy not in ("follow_data", "round_robin", "hsl", "replicated"):
+            raise ValueError("bad pte_policy %r" % self.pte_policy)
+        if self.cta_policy not in ("lasp", "round_robin"):
+            raise ValueError("bad cta_policy %r" % self.cta_policy)
+        if self.data_policy not in ("lasp", "round_robin", "first_touch"):
+            raise ValueError("bad data_policy %r" % self.data_policy)
+        if self.data_policy == "first_touch" and not self.demand_paging:
+            raise ValueError("first_touch placement requires demand_paging")
+        if self.balance and self.hsl_mode != "dhsl":
+            raise ValueError("dHSL-balance requires hsl_mode='dhsl'")
+
+
+DESIGNS = {
+    d.name: d
+    for d in [
+        VMDesign(
+            name="private",
+            hsl_mode="private",
+            pte_policy="follow_data",
+            description="Private L2 TLB; PTE pages placed with the data (baseline).",
+        ),
+        VMDesign(
+            name="shared",
+            hsl_mode="shared",
+            pte_policy="follow_data",
+            description="Logically shared L2 TLB; page-interleave HSL.",
+        ),
+        VMDesign(
+            name="mgvm-nobalance",
+            hsl_mode="dhsl",
+            pte_policy="hsl",
+            description="MGvm without runtime balancing (dHSL + dHSL-coarse only).",
+        ),
+        VMDesign(
+            name="mgvm",
+            hsl_mode="dhsl",
+            pte_policy="hsl",
+            balance=True,
+            description="Full MGvm: dHSL, dHSL-coarse, dHSL-balance.",
+        ),
+        VMDesign(
+            name="mgvm-rr",
+            hsl_mode="dhsl",
+            pte_policy="hsl",
+            balance=True,
+            cta_policy="round_robin",
+            data_policy="round_robin",
+            description="MGvm's PTE optimization under a naive RR baseline (Fig 14).",
+        ),
+        VMDesign(
+            name="private-rr",
+            hsl_mode="private",
+            pte_policy="follow_data",
+            cta_policy="round_robin",
+            data_policy="round_robin",
+            description="Private TLB under the naive RR baseline (Fig 14).",
+        ),
+        VMDesign(
+            name="shared-rr",
+            hsl_mode="shared",
+            pte_policy="follow_data",
+            cta_policy="round_robin",
+            data_policy="round_robin",
+            description="Shared TLB under the naive RR baseline (Fig 14).",
+        ),
+        VMDesign(
+            name="private-ptr",
+            hsl_mode="private",
+            pte_policy="replicated",
+            description="Private TLB + replicated page table (Fig 15).",
+        ),
+        VMDesign(
+            name="shared-ptr",
+            hsl_mode="shared",
+            pte_policy="replicated",
+            description="Shared TLB + replicated page table (Fig 15).",
+        ),
+        VMDesign(
+            name="remote-caching",
+            hsl_mode="shared",
+            pte_policy="follow_data",
+            remote_tlb_caching=True,
+            description="Shared TLB caching remote entries locally (Fig 16).",
+        ),
+        VMDesign(
+            name="mgvm-uvm",
+            hsl_mode="dhsl",
+            pte_policy="hsl",
+            balance=True,
+            demand_paging=True,
+            description=(
+                "MGvm under unified virtual memory (Section VII): the page "
+                "fault handler places data pages per LASP and leaf-PTE pages "
+                "on dHSL-coarse homes."
+            ),
+        ),
+        VMDesign(
+            name="shared-uvm",
+            hsl_mode="shared",
+            pte_policy="follow_data",
+            demand_paging=True,
+            description="Shared TLB under UVM demand paging.",
+        ),
+        VMDesign(
+            name="first-touch",
+            hsl_mode="shared",
+            pte_policy="follow_data",
+            data_policy="first_touch",
+            demand_paging=True,
+            description=(
+                "Arunkumar et al.-style first-touch placement via GPU page "
+                "faults (the policy the paper argues is too slow)."
+            ),
+        ),
+        VMDesign(
+            name="private-naive-pte",
+            hsl_mode="private",
+            pte_policy="round_robin",
+            description="Private TLB, PTE pages spread round-robin (Sec III ablation).",
+        ),
+    ]
+}
+
+
+def design(name):
+    """Look up a named design point."""
+    try:
+        return DESIGNS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown design %r (choose from %s)" % (name, ", ".join(sorted(DESIGNS)))
+        ) from None

@@ -1,0 +1,139 @@
+"""Home-Slice-selection (HSL) functions.
+
+On an L1 TLB miss, the HSL maps the missing virtual address to the chiplet
+whose L2 TLB slice (and page walkers) must service it:
+
+* :class:`PrivateHSL` — the private-TLB design: every address is serviced
+  by the requester's own slice.
+* :class:`InterleaveHSL` — the shared-TLB design: a MOD of the VA at some
+  granularity (conventionally the page size) picks the home slice.
+* :class:`DynamicHSL` — MGvm's per-kernel function.  It starts in
+  *coarse* mode (granularity a multiple of 2 MB chosen from LASP's data
+  placement, see :mod:`repro.core.mgvm`) and can be switched to *fine*
+  (page-granularity) mode by the dHSL-balance controller.  Because the
+  switch message reaches chiplets asynchronously, each hardware component
+  keeps its own copy of the HSL; :class:`DynamicHSL` therefore exposes a
+  per-component view.
+"""
+
+
+class PrivateHSL:
+    """Every request is serviced by the requester's own slice."""
+
+    is_dynamic = False
+
+    def home(self, va, requester, component=None):
+        return requester
+
+    def __repr__(self):
+        return "PrivateHSL()"
+
+
+class InterleaveHSL:
+    """MOD-interleave of the VA across slices at a fixed granularity."""
+
+    is_dynamic = False
+
+    def __init__(self, granularity, num_chiplets):
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        if num_chiplets < 1:
+            raise ValueError("num_chiplets must be >= 1")
+        self.granularity = int(granularity)
+        self.num_chiplets = num_chiplets
+
+    def home(self, va, requester=None, component=None):
+        return (va // self.granularity) % self.num_chiplets
+
+    def __repr__(self):
+        return "InterleaveHSL(granularity=%d, chiplets=%d)" % (
+            self.granularity,
+            self.num_chiplets,
+        )
+
+
+def shared_default_hsl(num_chiplets, page_size):
+    """The conventional shared-TLB HSL: page-granularity interleave."""
+    return InterleaveHSL(page_size, num_chiplets)
+
+
+class DynamicHSL:
+    """MGvm's per-kernel HSL with asynchronous coarse<->fine switching.
+
+    ``component`` identifies which hardware unit is asking — a
+    ``(chiplet, role)`` pair with role in ``{"cu", "rtu", "slice"}``.
+    Each component owns a private granularity register which the balance
+    controller updates when that component receives the switch broadcast.
+    ``component=None`` reads the commanded (CP-side) state.
+    """
+
+    is_dynamic = True
+    ROLES = ("cu", "rtu", "slice")
+
+    def __init__(self, coarse_granularity, fine_granularity, num_chiplets):
+        if coarse_granularity < fine_granularity:
+            raise ValueError("coarse granularity must be >= fine granularity")
+        self.coarse_granularity = int(coarse_granularity)
+        self.fine_granularity = int(fine_granularity)
+        self.num_chiplets = num_chiplets
+        self.commanded = "coarse"
+        self._views = {
+            (chiplet, role): self.coarse_granularity
+            for chiplet in range(num_chiplets)
+            for role in self.ROLES
+        }
+        self.switches_to_fine = 0
+        self.switches_to_coarse = 0
+
+    def _granularity_for(self, component):
+        if component is None:
+            return (
+                self.coarse_granularity
+                if self.commanded == "coarse"
+                else self.fine_granularity
+            )
+        return self._views[component]
+
+    def home(self, va, requester=None, component=None):
+        granularity = self._granularity_for(component)
+        return (va // granularity) % self.num_chiplets
+
+    def coarse_home(self, va):
+        """Home under dHSL-coarse regardless of mode (entry tagging)."""
+        return (va // self.coarse_granularity) % self.num_chiplets
+
+    def mode_of(self, component):
+        fine = self._views[component] == self.fine_granularity
+        return "fine" if fine else "coarse"
+
+    # -- switching (driven by the balance controller) -------------------------
+
+    def command(self, mode):
+        """Record the CP's decision; components update via apply_at."""
+        if mode not in ("coarse", "fine"):
+            raise ValueError("mode must be 'coarse' or 'fine'")
+        if mode == self.commanded:
+            return False
+        self.commanded = mode
+        if mode == "fine":
+            self.switches_to_fine += 1
+        else:
+            self.switches_to_coarse += 1
+        return True
+
+    def apply(self, component, mode):
+        """A component receives the switch message and updates its copy."""
+        self._views[component] = (
+            self.fine_granularity if mode == "fine" else self.coarse_granularity
+        )
+
+    def components(self):
+        return list(self._views)
+
+    def __repr__(self):
+        return "DynamicHSL(coarse=%d, fine=%d, chiplets=%d, commanded=%s)" % (
+            self.coarse_granularity,
+            self.fine_granularity,
+            self.num_chiplets,
+            self.commanded,
+        )

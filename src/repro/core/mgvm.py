@@ -1,0 +1,90 @@
+"""MGvm's launch-time algorithm (Listing 1 of the paper).
+
+At each kernel launch the driver:
+
+1. queries LASP for the interleave block size of the kernel's *largest*
+   allocation;
+2. rounds it to a multiple of ``pte_page_span`` (2 MB with 4 KB pages,
+   32 MB with 64 KB pages) — that rounded value is **dHSL-coarse**, the
+   granularity of the kernel's HSL;
+3. allocates virtual addresses aligned so the HSL's MOD-interleave agrees
+   with LASP's data placement (done in :mod:`repro.driver.allocator`);
+4. for every ``pte_page_span``-sized VA region, places the 4 KB page
+   holding that region's leaf PTEs on the region's home chiplet as per
+   the chosen HSL, so leaf PTE accesses during page walks stay local.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.hsl import DynamicHSL
+
+
+def closest_multiple(value, base):
+    """The multiple of ``base`` closest to ``value`` (at least ``base``).
+
+    This is Listing 1's ``closestMultiple``: MGvm rounds LASP's data
+    interleave granularity to the nearest multiple of the leaf-PTE span.
+    Ties round up; values below ``base`` round up to ``base``.
+    """
+    if base < 1:
+        raise ValueError("base must be >= 1")
+    if value <= base:
+        return base
+    lower = (value // base) * base
+    upper = lower + base
+    if value - lower < upper - value:
+        return lower
+    return upper
+
+
+def choose_dhsl_granularity(lasp_block_size, pte_page_span):
+    """Listing 1, lines 4-7: the kernel's dHSL-coarse granularity."""
+    if lasp_block_size is None:
+        # No LASP analysis available (MGvm-RR): fall back to the minimum
+        # granularity that still keeps leaf PTE pages local.
+        return pte_page_span
+    if lasp_block_size % pte_page_span == 0:
+        return lasp_block_size
+    return closest_multiple(lasp_block_size, pte_page_span)
+
+
+@dataclass
+class MGvmLaunchPlan:
+    """Everything the driver decides for one kernel under MGvm."""
+
+    hsl: DynamicHSL
+    granularity: int
+    # Leaf PT-page placements: (level-1 prefix handled by driver) keyed by
+    # the base VA of each pte_page_span region.
+    pte_region_homes: Dict[int, int] = field(default_factory=dict)
+
+
+def plan_kernel_launch(
+    geometry,
+    num_chiplets,
+    lasp_block_size,
+    va_ranges: List[Tuple[int, int]],
+):
+    """Build the :class:`MGvmLaunchPlan` for a kernel.
+
+    ``va_ranges`` is the list of ``(base_va, size)`` allocations the
+    kernel touches (already laid out by the aligning allocator).
+    """
+    span = geometry.pte_page_span
+    granularity = choose_dhsl_granularity(lasp_block_size, span)
+    hsl = DynamicHSL(granularity, geometry.page_size, num_chiplets)
+
+    plan = MGvmLaunchPlan(hsl=hsl, granularity=granularity)
+    for base_va, size in va_ranges:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        first_region = base_va // span
+        last_region = (base_va + size - 1) // span
+        for region in range(first_region, last_region + 1):
+            region_base = region * span
+            # Listing 1, lines 18-22: the home chiplet of this 2MB region
+            # under the chosen HSL hosts the page with its leaf PTEs.
+            home = (region_base // granularity) % num_chiplets
+            plan.pte_region_homes[region_base] = home
+    return plan

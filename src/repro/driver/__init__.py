@@ -1,0 +1,24 @@
+"""GPU driver: LASP analysis, VA layout, placement, CTA scheduling.
+
+The driver performs every launch-time step of Listing 1 of the paper:
+querying LASP, aligning and assigning virtual addresses, placing data
+pages and page-table pages, configuring the HSL, and scheduling CTAs.
+"""
+
+from repro.driver.lasp import LaspResult, analyze_kernel
+from repro.driver.allocator import layout_allocations, next_power_of_two
+from repro.driver.cta_scheduler import assign_ctas_to_chiplets, assign_ctas_to_cus
+from repro.driver.pte_placement import place_page_table_pages
+from repro.driver.kernel_launch import KernelLaunch, launch_kernel
+
+__all__ = [
+    "LaspResult",
+    "analyze_kernel",
+    "layout_allocations",
+    "next_power_of_two",
+    "assign_ctas_to_chiplets",
+    "assign_ctas_to_cus",
+    "place_page_table_pages",
+    "KernelLaunch",
+    "launch_kernel",
+]

@@ -1,0 +1,61 @@
+"""Virtual-address layout (Listing 1, lines 9-15).
+
+MGvm's driver makes the MOD-interleaving HSL agree with LASP's data
+placement by construction:
+
+1. the starting VA is aligned to the power of two at or above the
+   largest allocation;
+2. allocations are assigned VAs largest-first, so each base ends up a
+   multiple of its own (power-of-two) size.
+
+With those two properties, ``(va // block) % num_chiplets`` computes the
+same chiplet for the HSL (which sees absolute VAs in hardware) and for
+the driver's placement of the pages themselves.
+
+The same layout is used for every design point so that all configurations
+replay identical traces; the baselines are insensitive to it (private HSL
+ignores the VA, and the shared HSL interleaves at page granularity).
+"""
+
+from typing import Dict, List
+
+from repro.workloads.base import AllocationSpec
+
+
+def next_power_of_two(value):
+    """Smallest power of two >= ``value`` (>= 1)."""
+    if value < 1:
+        raise ValueError("value must be >= 1")
+    return 1 << (value - 1).bit_length()
+
+
+def layout_allocations(allocations: List[AllocationSpec]) -> Dict[str, int]:
+    """Assign a base VA to every allocation; return ``{name: base_va}``.
+
+    Allocation sizes are powers of two (enforced by
+    :class:`AllocationSpec`), so assigning them in descending size order
+    from an aligned start guarantees every base is a multiple of its own
+    size.
+    """
+    if not allocations:
+        raise ValueError("nothing to lay out")
+    names = [alloc.name for alloc in allocations]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate allocation names")
+
+    largest = max(alloc.size for alloc in allocations)
+    align_to = next_power_of_two(largest)
+    # Line 11: a fresh VA region aligned to align_to (non-zero, so null
+    # pointers never alias an allocation).
+    cursor = align_to
+    bases = {}
+    for alloc in sorted(allocations, key=lambda a: (-a.size, a.name)):
+        bases[alloc.name] = cursor
+        cursor += alloc.size
+    return bases
+
+
+def check_alignment(bases: Dict[str, int], allocations: List[AllocationSpec]):
+    """Verify the Listing-1 invariant; returns the offending names."""
+    sizes = {alloc.name: alloc.size for alloc in allocations}
+    return [name for name, base in bases.items() if base % sizes[name] != 0]

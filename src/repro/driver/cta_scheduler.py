@@ -1,0 +1,46 @@
+"""CTA scheduling across chiplets and compute units.
+
+Under LASP, CTAs are scheduled on the chiplet where the data they will
+access was placed; the partitioning shape follows the kernel's class
+(blocked for NL, striped for RCL, grouped round-robin for ITL /
+unclassified).  The naive baseline of Figure 14 distributes CTAs
+round-robin regardless of data.
+"""
+
+from typing import List
+
+from repro.workloads.base import KernelSpec
+
+
+def assign_ctas_to_chiplets(
+    kernel: KernelSpec, num_chiplets: int, policy: str = "lasp"
+) -> List[int]:
+    """Chiplet of every CTA, indexed by CTA id."""
+    num_ctas = kernel.num_ctas
+    if policy == "round_robin":
+        return [cta % num_chiplets for cta in range(num_ctas)]
+    if policy != "lasp":
+        raise ValueError("unknown CTA policy %r" % policy)
+
+    partition = kernel.cta_partition
+    group = max(1, kernel.cta_group)
+    if partition == "blocked":
+        return [cta * num_chiplets // num_ctas for cta in range(num_ctas)]
+    if partition == "striped":
+        return [(cta // group) % num_chiplets for cta in range(num_ctas)]
+    if partition == "round_robin":
+        return [(cta // group) % num_chiplets for cta in range(num_ctas)]
+    raise ValueError("unknown CTA partition %r" % partition)
+
+
+def assign_ctas_to_cus(
+    cta_chiplets: List[int], num_chiplets: int, cus_per_chiplet: int
+) -> List[int]:
+    """Global CU index of every CTA (round-robin within its chiplet)."""
+    counters = [0] * num_chiplets
+    assignment = []
+    for chiplet in cta_chiplets:
+        local_cu = counters[chiplet] % cus_per_chiplet
+        counters[chiplet] += 1
+        assignment.append(chiplet * cus_per_chiplet + local_cu)
+    return assignment

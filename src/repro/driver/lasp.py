@@ -1,0 +1,75 @@
+"""LASP static analysis (Khairy et al., MICRO 2020), as MGvm consumes it.
+
+LASP classifies each kernel from compile-time index analysis and derives,
+per allocation, the block size at which its pages should be interleaved
+across chiplets, plus a CTA-to-chiplet mapping that co-locates CTAs with
+the data they access.  The paper (and therefore this reproduction) only
+consumes LASP's *outputs*; the classes come from Table II and the index
+analysis is expressed as per-allocation block-size hints on the workload
+specs, with per-class defaults here:
+
+* **NL** (no locality across CTAs, e.g. Jacobi): contiguous partition —
+  block = allocation size / num_chiplets; CTAs partitioned blockwise.
+* **RCL** (row/column locality, e.g. SYRK): stripe rows — block = the
+  row-stripe the workload declares; CTAs striped to follow.
+* **ITL** (intra-thread locality, e.g. KMeans): medium-grain interleave.
+* **unclassified** (e.g. GUPS): contiguous equal split, CTAs blocked.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.base import KernelSpec
+
+ITL_DEFAULT_BLOCK = 64 * 1024
+
+
+@dataclass
+class LaspResult:
+    """LASP's decisions for one kernel."""
+
+    kernel_name: str
+    lasp_class: str
+    block_sizes: Dict[str, int]
+    largest_allocation: str
+
+    @property
+    def lasp_block_size(self):
+        """Block size of the largest allocation (Listing 1, line 3)."""
+        return self.block_sizes[self.largest_allocation]
+
+
+def _default_block(lasp_class, alloc_size, num_chiplets):
+    if lasp_class in ("NL", "NL+ITL", "unclassified"):
+        block = alloc_size // num_chiplets
+        return max(block, 4096)
+    if lasp_class == "RCL":
+        # Without an explicit row-stripe hint, stripe at 1/8th of the
+        # per-chiplet share, approximating a multi-row stripe.
+        block = alloc_size // (num_chiplets * 8)
+        return max(block, 4096)
+    if lasp_class == "ITL":
+        return ITL_DEFAULT_BLOCK
+    raise ValueError("unknown LASP class %r" % lasp_class)
+
+
+def analyze_kernel(kernel: KernelSpec, num_chiplets: int) -> LaspResult:
+    """Produce LASP's data-placement decisions for ``kernel``.
+
+    Every allocation gets an interleave block size: the workload's
+    explicit hint (standing in for the static index analysis) or the
+    class default.
+    """
+    block_sizes = {}
+    for alloc in kernel.allocations:
+        if alloc.lasp_block is not None:
+            block = alloc.lasp_block
+        else:
+            block = _default_block(kernel.lasp_class, alloc.size, num_chiplets)
+        block_sizes[alloc.name] = block
+    return LaspResult(
+        kernel_name=kernel.name,
+        lasp_class=kernel.lasp_class,
+        block_sizes=block_sizes,
+        largest_allocation=kernel.largest_allocation.name,
+    )

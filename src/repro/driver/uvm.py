@@ -1,0 +1,104 @@
+"""Unified virtual memory: demand paging via GPU page faults.
+
+Section VII of the paper argues MGvm's two launch-time optimizations
+carry over to UVM "with a slightly different implementation": pages are
+allocated by the page-fault handler during execution rather than at
+``cudaMalloc`` time, so *the fault handler* must place each newly-touched
+data page and — for MGvm — the page holding its leaf PTEs on the chiplet
+whose L2 TLB slice translates that VA region.
+
+GPU page faults are expensive (the paper cites 20-50 microseconds), which
+is also why the first-touch placement policy of Arunkumar et al. is
+unattractive; the fault latency is a machine parameter
+(``GPUParams.fault_latency``).
+
+:class:`UVMFaultHandler` implements the handler: it resolves a faulting
+VPN by placing the data page (LASP-guided, or first-touch on the faulting
+chiplet), installing the translation, and homing any newly-created
+page-table nodes per the design's PTE policy.
+"""
+
+from repro.mem.placement import InterleavePolicy
+
+
+class UVMFaultHandler:
+    """Places pages on demand, at page-fault time."""
+
+    def __init__(
+        self,
+        design,
+        geometry,
+        num_chiplets,
+        placement,
+        page_table,
+        bases,
+        kernel,
+        lasp=None,
+        hsl=None,
+    ):
+        self.design = design
+        self.geometry = geometry
+        self.num_chiplets = num_chiplets
+        self.placement = placement
+        self.page_table = page_table
+        self.kernel = kernel
+        self.lasp = lasp
+        self.hsl = hsl
+        self.faults = 0
+        self._rr_counter = 0
+        # Per-allocation data-placement policies, resolved once.
+        self._ranges = []
+        for alloc in kernel.allocations:
+            base = bases[alloc.name]
+            if design.data_policy == "first_touch":
+                policy = None  # home decided by the faulting chiplet
+            elif lasp is not None:
+                policy = InterleavePolicy(
+                    lasp.block_sizes[alloc.name], num_chiplets
+                )
+            else:
+                policy = InterleavePolicy(geometry.page_size, num_chiplets)
+            self._ranges.append((base, base + alloc.size, policy))
+
+    def _data_home(self, va, faulting_chiplet):
+        for lo, hi, policy in self._ranges:
+            if lo <= va < hi:
+                if policy is None:
+                    return faulting_chiplet
+                return policy.home(va)
+        raise ValueError("fault outside every allocation: va %#x" % va)
+
+    def _node_home(self, node, data_home):
+        policy = self.design.pte_policy
+        if policy == "replicated":
+            return None
+        if policy == "hsl":
+            base_va = (
+                self.geometry.prefix_first_vpn(node.prefix, node.level)
+                * self.geometry.page_size
+            )
+            return self.hsl.coarse_home(base_va)
+        if policy == "round_robin":
+            self._rr_counter += 1
+            return (self._rr_counter - 1) % self.num_chiplets
+        # follow_data: the PT page follows the first data page it maps —
+        # under demand paging that is the page faulting right now.
+        return data_home
+
+    def handle(self, vpn, faulting_chiplet):
+        """Resolve a fault; returns the (ppn, data_home) installed."""
+        if self.page_table.is_mapped(vpn):
+            return self.page_table.translate(vpn)
+        self.faults += 1
+        va = vpn * self.geometry.page_size
+        home = self._data_home(va, faulting_chiplet)
+        ppn = self.placement.place_page(vpn, home)
+        existing = {
+            (node.level, node.prefix) for node in self.page_table.walk_nodes_if_present(vpn)
+        }
+        self.page_table.map_page(vpn, ppn, home)
+        for node in self.page_table.walk_path(vpn):
+            if (node.level, node.prefix) in existing and node.home is not None:
+                continue
+            node.home = self._node_home(node, home)
+        return ppn, home

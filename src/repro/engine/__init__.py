@@ -1,0 +1,14 @@
+"""Discrete-event simulation core.
+
+The engine is deliberately small: an event queue ordered by (time, sequence
+number), a handful of reusable contention primitives (:class:`Timeline`,
+:class:`TokenPool`), and the :class:`Engine` facade that owns the clock.
+
+All timing in the simulator is expressed in *cycles*, with the convention
+(documented in DESIGN.md) that one cycle equals one nanosecond.
+"""
+
+from repro.engine.event_queue import Engine, EventQueue
+from repro.engine.resources import Timeline, TokenPool
+
+__all__ = ["Engine", "EventQueue", "Timeline", "TokenPool"]

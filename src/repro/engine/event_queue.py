@@ -1,0 +1,84 @@
+"""Event queue and simulation clock.
+
+Events are callbacks scheduled at absolute times.  Ties are broken by a
+monotonically increasing sequence number so that events scheduled earlier
+run earlier, which keeps the simulation deterministic.
+"""
+
+import heapq
+
+
+class EventQueue:
+    """A priority queue of (time, seq, callback) events."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def __len__(self):
+        return len(self._heap)
+
+    def push(self, time, callback):
+        """Schedule ``callback`` to run at absolute ``time``."""
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def pop(self):
+        """Remove and return the earliest ``(time, callback)`` pair."""
+        time, _seq, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self):
+        """Return the time of the earliest event, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+
+class Engine:
+    """Owns the clock and drives the event queue to completion.
+
+    Components schedule work with :meth:`at` (absolute time) or
+    :meth:`after` (relative delay).  :meth:`run` executes events in time
+    order until the queue drains or an optional horizon is reached.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self.events = EventQueue()
+        self.events_executed = 0
+
+    def at(self, time, callback):
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule event in the past: %r < now %r" % (time, self.now)
+            )
+        self.events.push(time, callback)
+
+    def after(self, delay, callback):
+        """Schedule ``callback`` after ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("negative delay: %r" % (delay,))
+        self.events.push(self.now + delay, callback)
+
+    def run(self, until=None, max_events=None):
+        """Run events in order.
+
+        Stops when the queue is empty, when the next event would be after
+        ``until``, or after ``max_events`` events.  Returns the number of
+        events executed by this call.
+        """
+        executed = 0
+        while len(self.events):
+            next_time = self.events.peek_time()
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            time, callback = self.events.pop()
+            self.now = time
+            callback()
+            executed += 1
+        self.events_executed += executed
+        return executed

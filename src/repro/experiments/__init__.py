@@ -1,0 +1,12 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``ExperimentRunner`` executes (and caches) simulation runs;
+``repro.experiments.figures`` holds one entry point per figure/table of
+the paper's evaluation (Figures 3-5, 7-16 and Table III), each returning
+the rows the paper plots.
+"""
+
+from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments import figures
+
+__all__ = ["ExperimentRunner", "RunRecord", "figures"]

@@ -1,0 +1,144 @@
+"""Run (and cache) the simulations behind the paper's figures.
+
+A figure typically reuses runs another figure already needed (Figure 3 is
+the private/shared columns of Figure 7; Table III reuses all of them), so
+the runner memoizes every run by its full configuration, in memory and
+optionally on disk as JSON.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.sim.simulator import simulate
+from repro.workloads.registry import build_kernel
+
+
+@dataclass
+class RunRecord:
+    """The metrics of one simulation run that any figure consumes."""
+
+    workload: str
+    design: str
+    throughput: float
+    mpki: float
+    instructions: int
+    cycles: float
+    l2_hits_local: int
+    l2_hits_remote: int
+    walks: int
+    pw_local: int
+    pw_remote: int
+    avg_walk_latency: float
+    l2_hit_rate: float
+    balance_switches: int
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def local_hit_fraction(self):
+        hits = self.l2_hits_local + self.l2_hits_remote
+        return self.l2_hits_local / hits if hits else 1.0
+
+    @property
+    def pw_remote_fraction(self):
+        total = self.pw_local + self.pw_remote
+        return self.pw_remote / total if total else 0.0
+
+    def to_dict(self):
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+    @classmethod
+    def from_stats(cls, workload, design_name, stats):
+        return cls(
+            workload=workload,
+            design=design_name,
+            throughput=stats.throughput,
+            mpki=stats.mpki,
+            instructions=stats.instructions,
+            cycles=stats.cycles,
+            l2_hits_local=stats.l2_hits_local,
+            l2_hits_remote=stats.l2_hits_remote,
+            walks=stats.walks,
+            pw_local=stats.pw_accesses_local,
+            pw_remote=stats.pw_accesses_remote,
+            avg_walk_latency=stats.avg_walk_latency,
+            l2_hit_rate=stats.l2_hit_rate,
+            balance_switches=len(stats.balance_switches),
+            breakdown=dict(stats.miss_cycle_breakdown),
+        )
+
+
+class ExperimentRunner:
+    """Executes simulation runs with memoization."""
+
+    def __init__(self, scale="default", cache_path=None, seed=0, verbose=False):
+        self.scale = scale
+        self.seed = seed
+        self.verbose = verbose
+        self.cache_path = cache_path
+        self._cache: Dict[str, RunRecord] = {}
+        if cache_path and os.path.exists(cache_path):
+            with open(cache_path) as handle:
+                for key, data in json.load(handle).items():
+                    self._cache[key] = RunRecord.from_dict(data)
+
+    def _key(self, workload, design_name, overrides, mult):
+        items = tuple(sorted((overrides or {}).items()))
+        return json.dumps(
+            [self.scale, workload, design_name, items, mult, self.seed]
+        )
+
+    def run(
+        self,
+        workload: str,
+        design_name: str,
+        overrides: Optional[dict] = None,
+        mult: int = 1,
+    ) -> RunRecord:
+        """Simulate one (workload, design, machine) point, memoized."""
+        key = self._key(workload, design_name, overrides, mult)
+        record = self._cache.get(key)
+        if record is not None:
+            return record
+        params = scaled_params(self.scale, **(overrides or {}))
+        kernel = build_kernel(workload, scale=self.scale, mult=mult)
+        stats = simulate(kernel, params, design(design_name), seed=self.seed)
+        record = RunRecord.from_stats(workload, design_name, stats)
+        self._cache[key] = record
+        if self.verbose:
+            print(
+                "ran %s/%s: throughput=%.3f mpki=%.1f"
+                % (workload, design_name, record.throughput, record.mpki)
+            )
+        self._save()
+        return record
+
+    def run_matrix(
+        self, workloads, designs, overrides=None, mult=1
+    ) -> Dict[Tuple[str, str], RunRecord]:
+        """All (workload, design) combinations, memoized."""
+        return {
+            (workload, design_name): self.run(
+                workload, design_name, overrides=overrides, mult=mult
+            )
+            for workload in workloads
+            for design_name in designs
+        }
+
+    def _save(self):
+        if not self.cache_path:
+            return
+        payload = {
+            key: record.to_dict() for key, record in self._cache.items()
+        }
+        tmp = self.cache_path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.cache_path)

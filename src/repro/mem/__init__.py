@@ -1,0 +1,18 @@
+"""Per-chiplet memory hierarchy: L2 caches, DRAM timing, placement.
+
+The data path below the TLBs.  Page-table entries are cached in the L2
+data caches alongside data, as in the paper's baseline design.
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMTiming
+from repro.mem.memory_system import MemorySystem
+from repro.mem.placement import DataPlacement, InterleavePolicy
+
+__all__ = [
+    "Cache",
+    "DRAMTiming",
+    "MemorySystem",
+    "DataPlacement",
+    "InterleavePolicy",
+]

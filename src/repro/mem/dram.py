@@ -1,0 +1,31 @@
+"""DRAM (HBM stack) timing for one chiplet.
+
+The paper models 1 TB/s per-chiplet bandwidth and 100 ns latency.  At a
+64-byte line granularity, 1 TB/s admits one line every ~0.06 ns, so
+latency — not bandwidth — is the relevant cost for the translation-path
+experiments.  We model a fixed access latency plus a configurable
+per-channel issue interval (a :class:`~repro.engine.resources.Timeline`)
+so bandwidth contention can be enabled for sensitivity studies.
+"""
+
+from repro.engine.resources import Timeline
+
+
+class DRAMTiming:
+    """Latency/bandwidth model for one chiplet's HBM."""
+
+    def __init__(self, latency=100.0, channels=16, issue_interval=1.0):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.latency = float(latency)
+        self.channels = [Timeline(issue_interval) for _ in range(channels)]
+        self.accesses = 0
+
+    def access_done_at(self, addr, at):
+        """Cycle at which a line read of ``addr`` issued at ``at`` returns."""
+        channel = self.channels[(addr // 64) % len(self.channels)]
+        start = channel.reserve(at)
+        self.accesses += 1
+        return start + self.latency

@@ -1,0 +1,94 @@
+"""The memory side of the MCM GPU: per-chiplet L2 caches + DRAM + links.
+
+An access names the requesting chiplet and the home chiplet of the line.
+Remote accesses cross the in-package interconnect twice (there and back),
+adding ``2 * link_latency`` — the paper's ~32 ns one-way cost.  The home
+chiplet's L2 cache is looked up first (banked, 12-cycle); a miss goes to
+that chiplet's DRAM (100 ns).
+
+Page-table entries use the same path (``kind="pte"``), so PTE reads are
+cached in the L2 caches alongside data, exactly as the baseline design in
+Section II of the paper.
+"""
+
+from repro.engine.resources import Timeline
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMTiming
+
+
+class MemoryAccessStats:
+    """Counts of local/remote accesses per request kind."""
+
+    def __init__(self):
+        self.local = {"data": 0, "pte": 0}
+        self.remote = {"data": 0, "pte": 0}
+        self.local_cycles = {"data": 0.0, "pte": 0.0}
+        self.remote_cycles = {"data": 0.0, "pte": 0.0}
+
+    def record(self, kind, remote, cycles):
+        bucket = self.remote if remote else self.local
+        cycles_bucket = self.remote_cycles if remote else self.local_cycles
+        bucket[kind] += 1
+        cycles_bucket[kind] += cycles
+
+    def total(self, kind):
+        return self.local[kind] + self.remote[kind]
+
+    def remote_fraction(self, kind):
+        total = self.total(kind)
+        return self.remote[kind] / total if total else 0.0
+
+
+class MemorySystem:
+    """All chiplets' L2 caches and DRAM stacks, plus the interconnect."""
+
+    def __init__(
+        self,
+        num_chiplets,
+        link_latency=32.0,
+        l2_size=4 * 1024 * 1024,
+        l2_assoc=16,
+        l2_latency=12.0,
+        l2_banks=16,
+        dram_latency=100.0,
+    ):
+        self.num_chiplets = num_chiplets
+        self.link_latency = float(link_latency)
+        self.l2_latency = float(l2_latency)
+        self.l2_caches = [
+            Cache(l2_size, l2_assoc, name="l2c%d" % index)
+            for index in range(num_chiplets)
+        ]
+        self.l2_banks = [
+            [Timeline(1.0) for _ in range(l2_banks)] for _ in range(num_chiplets)
+        ]
+        self.drams = [
+            DRAMTiming(latency=dram_latency) for _ in range(num_chiplets)
+        ]
+        self.stats = MemoryAccessStats()
+
+    def access(self, requester, home, pa, at, kind="data"):
+        """Simulate a line read; return ``(done_time, was_remote)``.
+
+        ``done_time`` is when the response reaches the requester chiplet.
+        """
+        remote = requester != home
+        arrive = at + (self.link_latency if remote else 0.0)
+        banks = self.l2_banks[home]
+        bank = banks[(pa // 64) % len(banks)]
+        start = bank.reserve(arrive)
+        cache = self.l2_caches[home]
+        if cache.access(pa):
+            done = start + self.l2_latency
+        else:
+            done = self.drams[home].access_done_at(pa, start + self.l2_latency)
+        done += self.link_latency if remote else 0.0
+        self.stats.record(kind, remote, done - at)
+        return done, remote
+
+    def latency_preview(self, requester, home, cached):
+        """Best-case latency, ignoring contention (for reasoning/tests)."""
+        base = self.l2_latency if cached else self.l2_latency + self.drams[home].latency
+        if requester != home:
+            base += 2 * self.link_latency
+        return base

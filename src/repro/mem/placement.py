@@ -1,0 +1,100 @@
+"""Physical placement of data pages across chiplets.
+
+The driver places pages at allocation time.  Every policy the paper uses
+reduces to *block-interleaving over the virtual address*: chiplet
+``(va // block_size) % num_chiplets``.  Because the MGvm allocator aligns
+the base of each allocation (Listing 1), block-interleaving with
+
+* ``block = alloc_size / num_chiplets``  ==> LASP's contiguous "NL"
+  partition,
+* ``block = row stripe``                 ==> LASP's "RCL" striping,
+* ``block = small (e.g. 64 KB)``         ==> LASP's "ITL"/unclassified
+  interleave, and
+* ``block = page``                       ==> the naive round-robin
+  baseline of Figure 14,
+
+all come out of the same mechanism.  The placement also hands out
+synthetic physical page numbers, partitioned per chiplet so the L2 caches
+and DRAM of different chiplets never alias.
+"""
+
+
+class InterleavePolicy:
+    """Chiplet selection by block-interleaving the virtual address."""
+
+    def __init__(self, block_size, num_chiplets, base_va=0, offset=0):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if num_chiplets < 1:
+            raise ValueError("num_chiplets must be >= 1")
+        self.block_size = int(block_size)
+        self.num_chiplets = num_chiplets
+        self.base_va = base_va
+        self.offset = offset
+
+    def home(self, va):
+        """Chiplet owning the page containing ``va``."""
+        block = (va - self.base_va) // self.block_size
+        return (block + self.offset) % self.num_chiplets
+
+    def __repr__(self):
+        return "InterleavePolicy(block=%d, chiplets=%d)" % (
+            self.block_size,
+            self.num_chiplets,
+        )
+
+
+class DataPlacement:
+    """Maps every placed VPN to (chiplet, synthetic PPN)."""
+
+    def __init__(self, geometry, num_chiplets):
+        self.geometry = geometry
+        self.num_chiplets = num_chiplets
+        self._vpn_home = {}
+        self._vpn_ppn = {}
+        # Per-chiplet physical page counters; chiplet id in high bits keeps
+        # physical spaces disjoint.
+        self._next_ppn = [0] * num_chiplets
+
+    def place_range(self, va, size, policy):
+        """Place all pages of ``[va, va+size)`` according to ``policy``."""
+        geometry = self.geometry
+        page = geometry.page_size
+        start_vpn = geometry.vpn(va)
+        num_pages = geometry.pages_in(size + (va - geometry.page_base(va)))
+        for index in range(num_pages):
+            vpn = start_vpn + index
+            chiplet = policy.home(vpn * page)
+            self.place_page(vpn, chiplet)
+
+    def place_page(self, vpn, chiplet):
+        """Pin one page; idempotent for an already-placed page."""
+        if not 0 <= chiplet < self.num_chiplets:
+            raise ValueError("chiplet %d out of range" % chiplet)
+        if vpn in self._vpn_home:
+            return self._vpn_ppn[vpn]
+        ppn = (chiplet << 44) | self._next_ppn[chiplet]
+        self._next_ppn[chiplet] += 1
+        self._vpn_home[vpn] = chiplet
+        self._vpn_ppn[vpn] = ppn
+        return ppn
+
+    def home_of(self, vpn):
+        return self._vpn_home[vpn]
+
+    def ppn_of(self, vpn):
+        return self._vpn_ppn[vpn]
+
+    def is_placed(self, vpn):
+        return vpn in self._vpn_home
+
+    def iter_pages(self):
+        for vpn, home in self._vpn_home.items():
+            yield vpn, home, self._vpn_ppn[vpn]
+
+    def pages_on(self, chiplet):
+        return sum(1 for home in self._vpn_home.values() if home == chiplet)
+
+    @property
+    def num_pages(self):
+        return len(self._vpn_home)

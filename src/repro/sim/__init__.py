@@ -1,0 +1,14 @@
+"""End-to-end MCM GPU simulation.
+
+Wires the architectural components together and replays workload traces
+through the full address-translation and data paths:
+
+CU slot -> L1 TLB -> (HSL routing, RTU) -> L2 TLB slice -> MSHR ->
+page walker pool -> PWC -> page table in (possibly remote) memory ->
+fill -> L1 cache / L2 cache / DRAM data access.
+"""
+
+from repro.sim.simulator import Simulator, simulate
+from repro.sim.application import ApplicationResult, simulate_application
+
+__all__ = ["Simulator", "simulate", "ApplicationResult", "simulate_application"]

@@ -1,0 +1,124 @@
+"""Compute-unit model: closed-loop replay of CTA access streams.
+
+Each CU owns a private L1 TLB and L1 vector cache and a fixed number of
+wavefront slots.  A slot executes one CTA at a time: it spends
+``compute_gap`` cycles of compute, issues the CTA's next coalesced memory
+access, waits for it to complete (address translation + data access), and
+repeats.  Translation latency therefore directly throttles instruction
+throughput, which is the back-pressure mechanism behind every result in
+the paper.
+"""
+
+from collections import deque
+
+from repro.mem.cache import Cache
+from repro.vm.tlb import TLB, TLBEntry
+
+
+class ComputeUnit:
+    """One CU: L1 TLB + L1 cache + wavefront slots replaying CTAs."""
+
+    def __init__(self, simulator, cu_id, chiplet, params):
+        self.sim = simulator
+        self.engine = simulator.engine
+        self.stats = simulator.stats
+        self.geometry = simulator.geometry
+        self.cu_id = cu_id
+        self.chiplet = chiplet
+        self.l1_tlb = TLB(params.l1_tlb_entries, name="l1tlb%d" % cu_id)
+        self.l1_cache = Cache(
+            params.l1_cache_size, params.l1_cache_assoc, name="l1c%d" % cu_id
+        )
+        self.l1_tlb_latency = params.l1_tlb_latency
+        self.l1_cache_latency = params.l1_cache_latency
+        self.num_slots = params.wavefront_slots_per_cu
+        self.cta_queue = deque()
+        self.compute_gap = 1
+        self._pending_translations = {}
+        self._active_slots = 0
+
+    def add_cta(self, trace):
+        """Queue one CTA's access stream (numpy int64 array of VAs)."""
+        if len(trace):
+            self.cta_queue.append(trace)
+
+    def start(self):
+        """Activate up to ``num_slots`` wavefront slots."""
+        while self._active_slots < self.num_slots and self.cta_queue:
+            self._active_slots += 1
+            self._slot_pick_cta()
+
+    # -- slot state machine ------------------------------------------------------
+
+    def _slot_pick_cta(self):
+        if not self.cta_queue:
+            self._active_slots -= 1
+            self.sim.note_slot_retired()
+            return
+        trace = self.cta_queue.popleft()
+        self._slot_advance(trace, 0)
+
+    def _slot_advance(self, trace, index):
+        if index >= len(trace):
+            self._slot_pick_cta()
+            return
+        va = int(trace[index])
+        # compute_gap instructions of compute, then the memory access.
+        self.engine.after(
+            float(self.compute_gap), lambda: self._issue(va, trace, index)
+        )
+
+    def _issue(self, va, trace, index):
+        vpn = self.geometry.vpn(va)
+        entry = self.l1_tlb.lookup(vpn)
+        t_after_l1 = self.engine.now + self.l1_tlb_latency
+        if entry is not None:
+            self.stats.l1_tlb_hits += 1
+            self.engine.at(
+                t_after_l1, lambda: self._data_access(va, entry, trace, index)
+            )
+            return
+
+        self.stats.l1_tlb_misses += 1
+        waiters = self._pending_translations.get(vpn)
+        if waiters is not None:
+            # Another wavefront on this CU already misses on the same
+            # page; coalesce instead of issuing a duplicate request.
+            waiters.append((va, trace, index))
+            return
+        self._pending_translations[vpn] = [(va, trace, index)]
+        self.sim.translation.request(self, vpn, t_after_l1, self._translated)
+
+    def _translated(self, vpn, entry):
+        """Translation response arrives back at this CU."""
+        self.l1_tlb.insert(
+            TLBEntry(entry.vpn, entry.ppn, entry.data_home, entry.coarse_home)
+        )
+        for va, trace, index in self._pending_translations.pop(vpn):
+            self._data_access(va, entry, trace, index)
+
+    def _data_access(self, va, entry, trace, index):
+        pa = (entry.ppn << self.geometry.page_shift) | self.geometry.page_offset(va)
+        if self.l1_cache.access(pa):
+            self.stats.l1_cache_hits += 1
+            self.engine.after(
+                self.l1_cache_latency, lambda: self._complete(trace, index)
+            )
+            return
+        done, remote = self.sim.memory_system.access(
+            self.chiplet,
+            entry.data_home,
+            pa,
+            self.engine.now + self.l1_cache_latency,
+            kind="data",
+        )
+        if remote:
+            self.stats.data_accesses_remote += 1
+        else:
+            self.stats.data_accesses_local += 1
+        self.engine.at(done, lambda: self._complete(trace, index))
+
+    def _complete(self, trace, index):
+        self.stats.instructions += self.compute_gap + 1
+        self.stats.mem_accesses += 1
+        self._slot_advance(trace, index + 1)

@@ -1,0 +1,82 @@
+"""In-flight request records."""
+
+
+class TranslationRequest:
+    """One L1-TLB miss travelling through the L2 TLB / page-walk system."""
+
+    __slots__ = (
+        "vpn",
+        "va",
+        "origin",
+        "cu",
+        "t0",
+        "callback",
+        "hops",
+        "forward_home",
+        "cache_locally",
+    )
+
+    def __init__(self, vpn, va, origin, cu, t0, callback):
+        self.vpn = vpn
+        self.va = va
+        self.origin = origin  # requesting chiplet
+        self.cu = cu
+        self.t0 = t0  # time the L1 miss was detected
+        self.callback = callback  # callback(vpn, entry) at response time
+        self.hops = 0  # re-routing hops during HSL switches
+        # Remote-TLB-caching mode (Figure 16): the true home slice to
+        # forward to after a local-slice miss, and whether the response
+        # should be cached in the origin's slice.
+        self.forward_home = None
+        self.cache_locally = False
+
+    def __repr__(self):
+        return "TranslationRequest(vpn=%#x, origin=%d, t0=%.1f)" % (
+            self.vpn,
+            self.origin,
+            self.t0,
+        )
+
+
+class WalkRecord:
+    """Timing and locality of one page walk."""
+
+    __slots__ = (
+        "vpn",
+        "t_request",
+        "t_start",
+        "t_done",
+        "start_level",
+        "accesses_local",
+        "accesses_remote",
+        "cycles_local",
+        "cycles_remote",
+    )
+
+    def __init__(self, vpn, t_request):
+        self.vpn = vpn
+        self.t_request = t_request  # L2 miss detected / walk queued
+        self.t_start = None  # walker granted
+        self.t_done = None  # translation available
+        self.start_level = None
+        self.accesses_local = 0
+        self.accesses_remote = 0
+        self.cycles_local = 0.0
+        self.cycles_remote = 0.0
+
+    def add_access(self, remote, cycles):
+        if remote:
+            self.accesses_remote += 1
+            self.cycles_remote += cycles
+        else:
+            self.accesses_local += 1
+            self.cycles_local += cycles
+
+    @property
+    def latency(self):
+        return self.t_done - self.t_request
+
+    @property
+    def remote_cycle_fraction(self):
+        total = self.cycles_local + self.cycles_remote
+        return self.cycles_remote / total if total else 0.0

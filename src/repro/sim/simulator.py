@@ -1,0 +1,110 @@
+"""Top-level simulator: build the machine, replay the kernel, report.
+
+``simulate(kernel, params, design)`` is the one-call entry point used by
+the examples, the tests and the experiment harness.
+"""
+
+from repro.arch.interconnect import Interconnect
+from repro.core.balance import BalanceController, BalanceParams
+from repro.core.hsl import DynamicHSL
+from repro.driver.kernel_launch import launch_kernel
+from repro.mem.memory_system import MemorySystem
+from repro.engine.event_queue import Engine
+from repro.sim.cu import ComputeUnit
+from repro.sim.translation import TranslationSystem
+from repro.stats.counters import RunStats
+
+
+class Simulator:
+    """One simulation run of one kernel under one VM design."""
+
+    def __init__(self, launch, params, seed=0, balance_params=None):
+        self.launch = launch
+        self.params = params
+        self.geometry = launch.geometry
+        self.engine = Engine()
+        self.stats = RunStats(num_chiplets=params.num_chiplets)
+        self.memory_system = MemorySystem(
+            params.num_chiplets,
+            link_latency=params.link_latency,
+            l2_size=params.l2_cache_size,
+            l2_assoc=params.l2_cache_assoc,
+            l2_latency=params.l2_cache_latency,
+            l2_banks=params.l2_cache_banks,
+            dram_latency=params.dram_latency,
+        )
+        self.interconnect = Interconnect(
+            params.num_chiplets,
+            link_latency=params.link_latency,
+            issue_interval=params.link_issue_interval or None,
+        )
+
+        self.balance = None
+        if launch.design.balance and isinstance(launch.hsl, DynamicHSL):
+            if balance_params is None:
+                balance_params = BalanceParams(
+                    epoch_length=params.balance_epoch,
+                    share_threshold=params.balance_share_threshold,
+                    hit_rate_threshold=params.balance_hit_threshold,
+                )
+            self.balance = BalanceController(
+                self.engine,
+                launch.hsl,
+                params.num_chiplets,
+                params.link_latency,
+                params=balance_params,
+            )
+
+        self.translation = TranslationSystem(
+            self.engine,
+            launch,
+            params,
+            self.memory_system,
+            self.interconnect,
+            self.stats,
+            balance=self.balance,
+        )
+
+        self.cus = [
+            ComputeUnit(self, cu_id, cu_id // params.cus_per_chiplet, params)
+            for cu_id in range(params.total_cus)
+        ]
+
+        self._build_traces(seed)
+        self._live_slots = 0
+
+    def _build_traces(self, seed):
+        launch = self.launch
+        kernel = launch.kernel
+        context = launch.trace_context(seed)
+        gap = kernel.compute_gap
+        for cta_id in range(kernel.num_ctas):
+            trace = kernel.trace(cta_id, context)
+            cu = self.cus[launch.cta_cus[cta_id]]
+            cu.compute_gap = gap
+            cu.add_cta(trace)
+
+    def note_slot_retired(self):
+        self._live_slots -= 1
+
+    def run(self, max_events=None):
+        """Execute to completion; return the populated :class:`RunStats`."""
+        for cu in self.cus:
+            cu.start()
+            self._live_slots += cu._active_slots
+        self.engine.run(max_events=max_events)
+        stats = self.stats
+        stats.cycles = self.engine.now
+        if self.balance is not None:
+            stats.balance_alerts = self.balance.alerts
+            stats.balance_switches = list(self.balance.switch_events)
+        return stats
+
+
+def simulate(kernel, params, design, seed=0, balance_params=None):
+    """Launch ``kernel`` under ``design`` and run it to completion."""
+    launch = launch_kernel(kernel, params, design)
+    simulator = Simulator(
+        launch, params, seed=seed, balance_params=balance_params
+    )
+    return simulator.run()

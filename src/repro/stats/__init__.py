@@ -1,0 +1,15 @@
+"""Measurement: per-run counters and report formatting."""
+
+from repro.stats.counters import RunStats
+from repro.stats.report import format_table, normalize_to, geomean
+from repro.stats.export import write_raw_csv, write_normalized_csv, read_csv
+
+__all__ = [
+    "RunStats",
+    "format_table",
+    "normalize_to",
+    "geomean",
+    "write_raw_csv",
+    "write_normalized_csv",
+    "read_csv",
+]

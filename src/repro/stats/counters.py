@@ -1,0 +1,165 @@
+"""Per-run statistics.
+
+Everything the paper's figures report is derived from this object:
+
+* **Throughput** (Figures 3, 7, 11-15): instructions / cycles.
+* **L2 TLB MPKI** (Table III): page walks per kilo-instruction.
+* **L1-TLB-miss cycle breakdown** (Figure 4): local-hit / remote-hit /
+  PW-local / PW-remote buckets.
+* **L2 TLB hit locality** (Figure 8): local vs remote L2 hits.
+* **Page-walk access locality** (Figures 5, 9): local vs remote PTE
+  reads (mirrors the memory system's ``pte`` counters).
+* **Page-walk latency** (Figure 10): mean cycles from L2 miss to fill.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class RunStats:
+    """Counters populated by one simulation run."""
+
+    num_chiplets: int = 4
+
+    # Progress
+    instructions: int = 0
+    mem_accesses: int = 0
+    cycles: float = 0.0
+
+    # L1 TLB
+    l1_tlb_hits: int = 0
+    l1_tlb_misses: int = 0
+
+    # L2 TLB (translation requests reaching slices)
+    l2_hits_local: int = 0
+    l2_hits_remote: int = 0
+    l2_miss_requests: int = 0  # requests that missed (incl. merged)
+    walks: int = 0  # unique misses -> page walks
+    mshr_merges: int = 0
+    mshr_stalls: int = 0
+    reroutes: int = 0
+
+    # Requests routed to a remote home slice
+    routed_local: int = 0
+    routed_remote: int = 0
+
+    # Figure 4 buckets (cycles)
+    cycles_local_hit: float = 0.0
+    cycles_remote_hit: float = 0.0
+    cycles_pw_local: float = 0.0
+    cycles_pw_remote: float = 0.0
+
+    # Page walking
+    pw_accesses_local: int = 0
+    pw_accesses_remote: int = 0
+    pw_cycles_local: float = 0.0
+    pw_cycles_remote: float = 0.0
+    walk_latency_sum: float = 0.0
+
+    # Data path
+    l1_cache_hits: int = 0
+    data_accesses_local: int = 0
+    data_accesses_remote: int = 0
+
+    # Demand paging (UVM)
+    page_faults: int = 0
+    fault_cycles: float = 0.0
+
+    # Balance machinery
+    balance_alerts: int = 0
+    balance_switches: List = field(default_factory=list)
+
+    per_chiplet_incoming: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.per_chiplet_incoming:
+            self.per_chiplet_incoming = [0] * self.num_chiplets
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def throughput(self):
+        """Instructions per cycle across the whole GPU."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self):
+        """L2 TLB misses (page walks) per kilo instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.walks / self.instructions
+
+    @property
+    def l1_miss_rate(self):
+        total = self.l1_tlb_hits + self.l1_tlb_misses
+        return self.l1_tlb_misses / total if total else 0.0
+
+    @property
+    def l2_requests(self):
+        return self.l2_hits_local + self.l2_hits_remote + self.l2_miss_requests
+
+    @property
+    def l2_hit_rate(self):
+        total = self.l2_requests
+        hits = self.l2_hits_local + self.l2_hits_remote
+        return hits / total if total else 0.0
+
+    @property
+    def local_hit_fraction(self):
+        """Fraction of L2 TLB hits serviced by the requester's slice."""
+        hits = self.l2_hits_local + self.l2_hits_remote
+        return self.l2_hits_local / hits if hits else 1.0
+
+    @property
+    def pw_accesses(self):
+        return self.pw_accesses_local + self.pw_accesses_remote
+
+    @property
+    def pw_remote_fraction(self):
+        total = self.pw_accesses
+        return self.pw_accesses_remote / total if total else 0.0
+
+    @property
+    def avg_walk_latency(self):
+        return self.walk_latency_sum / self.walks if self.walks else 0.0
+
+    @property
+    def miss_cycle_breakdown(self):
+        """The four Figure-4 buckets, in paper order."""
+        return {
+            "local_hit": self.cycles_local_hit,
+            "remote_hit": self.cycles_remote_hit,
+            "pw_local": self.cycles_pw_local,
+            "pw_remote": self.cycles_pw_remote,
+        }
+
+    @property
+    def total_miss_cycles(self):
+        return (
+            self.cycles_local_hit
+            + self.cycles_remote_hit
+            + self.cycles_pw_local
+            + self.cycles_pw_remote
+        )
+
+    @property
+    def data_remote_fraction(self):
+        total = self.data_accesses_local + self.data_accesses_remote
+        return self.data_accesses_remote / total if total else 0.0
+
+    def summary(self):
+        """A flat dict of the headline metrics (for CSV/report output)."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "throughput": self.throughput,
+            "mpki": self.mpki,
+            "l2_hit_rate": self.l2_hit_rate,
+            "local_hit_fraction": self.local_hit_fraction,
+            "pw_remote_fraction": self.pw_remote_fraction,
+            "avg_walk_latency": self.avg_walk_latency,
+            "data_remote_fraction": self.data_remote_fraction,
+            "walks": self.walks,
+            "balance_switches": len(self.balance_switches),
+        }

@@ -1,0 +1,78 @@
+"""CSV export of experiment results.
+
+Mirrors the paper artifact's ``5_collect_stats.py`` / ``6_normalize_
+results.py`` flow: collect raw per-(workload, design) metrics into one
+CSV, then emit a normalized CSV whose columns match the figures.
+"""
+
+import csv
+
+RAW_FIELDS = [
+    "workload",
+    "design",
+    "throughput",
+    "mpki",
+    "l2_hit_rate",
+    "local_hit_fraction",
+    "pw_remote_fraction",
+    "avg_walk_latency",
+    "walks",
+    "balance_switches",
+]
+
+
+def write_raw_csv(records, path):
+    """Write :class:`~repro.experiments.runner.RunRecord` rows to CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(RAW_FIELDS)
+        for record in records:
+            writer.writerow(
+                [
+                    record.workload,
+                    record.design,
+                    "%.6f" % record.throughput,
+                    "%.4f" % record.mpki,
+                    "%.4f" % record.l2_hit_rate,
+                    "%.4f" % record.local_hit_fraction,
+                    "%.4f" % record.pw_remote_fraction,
+                    "%.2f" % record.avg_walk_latency,
+                    record.walks,
+                    record.balance_switches,
+                ]
+            )
+
+
+def write_normalized_csv(records, path, baseline_design="private"):
+    """Write per-workload throughput normalized to a baseline design.
+
+    ``records`` is an iterable of RunRecords covering one or more designs
+    for each workload; the baseline design must be present per workload.
+    """
+    by_workload = {}
+    for record in records:
+        by_workload.setdefault(record.workload, {})[record.design] = record
+    designs = sorted({record.design for record in records})
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload"] + designs)
+        for workload in sorted(by_workload):
+            row = [workload]
+            base = by_workload[workload].get(baseline_design)
+            if base is None:
+                raise ValueError(
+                    "workload %s lacks baseline %r" % (workload, baseline_design)
+                )
+            for design_name in designs:
+                record = by_workload[workload].get(design_name)
+                if record is None:
+                    row.append("")
+                else:
+                    row.append("%.6f" % (record.throughput / base.throughput))
+            writer.writerow(row)
+
+
+def read_csv(path):
+    """Read a CSV back as a list of dicts (header-keyed)."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

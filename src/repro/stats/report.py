@@ -1,0 +1,49 @@
+"""Report helpers: normalization, geometric means, aligned text tables.
+
+The paper reports every throughput figure *normalized* (usually to the
+private-TLB design) and averages with geometric means; these helpers
+reproduce those conventions for the experiment harness.
+"""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean of positive values (paper's 'Gmean' columns)."""
+    values = [v for v in values]
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to(values, baseline):
+    """Element-wise ``values[i] / baseline[i]``."""
+    if len(values) != len(baseline):
+        raise ValueError("length mismatch")
+    return [v / b if b else float("nan") for v, b in zip(values, baseline)]
+
+
+def format_table(headers, rows, float_format="%.3f"):
+    """Render an aligned, pipe-separated text table."""
+
+    def render(cell):
+        if isinstance(cell, float):
+            return float_format % cell
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Virtual-memory building blocks.
+
+This subpackage implements the address-translation hardware of one MCM GPU:
+set-associative TLBs, MSHR files, the four-level radix page table, the page
+walk cache, and the per-chiplet page walker pools.
+"""
+
+from repro.vm.address import PageGeometry
+from repro.vm.tlb import TLB, TLBEntry
+from repro.vm.mshr import MSHRFile
+from repro.vm.page_table import PageTable
+from repro.vm.walk_cache import PageWalkCache
+
+__all__ = [
+    "PageGeometry",
+    "TLB",
+    "TLBEntry",
+    "MSHRFile",
+    "PageTable",
+    "PageWalkCache",
+]

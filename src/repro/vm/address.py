@@ -1,0 +1,130 @@
+"""Virtual-address geometry.
+
+A :class:`PageGeometry` fixes the data page size and derives everything the
+rest of the VM subsystem needs:
+
+* ``vpn(va)`` — the virtual page number of an address;
+* the 4-level radix split of a VPN (9 bits per level with the
+  architectural 512 PTEs per page-table page, as in x86-64 and the
+  NVIDIA Pascal MMU format the paper cites);
+* ``pte_page_span`` — how much contiguous VA one page of leaf PTEs maps.
+  For 4 KB data pages and 512-entry PT pages this is 2 MB, the
+  granularity at the heart of dHSL-coarse; for 64 KB pages it is 32 MB,
+  matching the paper's large-page discussion (Section V).
+
+``ptes_per_page`` is parameterized for the scaled-down machine models:
+the ``default``/``smoke`` scales shrink workload footprints, so the leaf
+span shrinks proportionally (128- and 16-entry PT pages respectively) to
+preserve the footprint-to-span ratios that drive every dHSL-coarse
+behaviour.  The ``paper`` scale uses the architectural 512.
+
+Page-table pages themselves are always one page of PTEs, regardless of
+the data page size, mirroring the paper's assumption.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+PTE_SIZE = 8
+ARCH_PTES_PER_PAGE = 512
+RADIX_LEVELS = 4
+
+SUPPORTED_PAGE_SIZES = (4 * KB, 64 * KB, 2 * MB)
+
+
+class PageGeometry:
+    """Derived constants for a given data page size and radix width."""
+
+    def __init__(self, page_size=4 * KB, ptes_per_page=ARCH_PTES_PER_PAGE):
+        if page_size not in SUPPORTED_PAGE_SIZES:
+            raise ValueError(
+                "unsupported page size %d (supported: %r)"
+                % (page_size, SUPPORTED_PAGE_SIZES)
+            )
+        if ptes_per_page < 2 or ptes_per_page & (ptes_per_page - 1):
+            raise ValueError("ptes_per_page must be a power of two >= 2")
+        self.page_size = page_size
+        self.page_shift = page_size.bit_length() - 1
+        self.ptes_per_page = ptes_per_page
+        self.radix_bits = ptes_per_page.bit_length() - 1
+        # The VA span whose leaf translations live on one PT page.
+        self.pte_page_span = ptes_per_page * page_size
+        self.levels = RADIX_LEVELS
+
+    def __repr__(self):
+        return "PageGeometry(page_size=%d, ptes_per_page=%d)" % (
+            self.page_size,
+            self.ptes_per_page,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PageGeometry)
+            and other.page_size == self.page_size
+            and other.ptes_per_page == self.ptes_per_page
+        )
+
+    def __hash__(self):
+        return hash(("PageGeometry", self.page_size, self.ptes_per_page))
+
+    # -- address arithmetic -------------------------------------------------
+
+    def vpn(self, va):
+        """Virtual page number of ``va``."""
+        return va >> self.page_shift
+
+    def page_base(self, va):
+        """Base VA of the page containing ``va``."""
+        return (va >> self.page_shift) << self.page_shift
+
+    def page_offset(self, va):
+        return va & (self.page_size - 1)
+
+    def pages_in(self, size):
+        """Number of pages needed to back ``size`` bytes."""
+        return (size + self.page_size - 1) // self.page_size
+
+    # -- radix-tree indexing ------------------------------------------------
+
+    def level_shift(self, level):
+        """Bit position (within the VPN) where ``level``'s index starts.
+
+        Level 1 is the leaf; level 4 is the root.
+        """
+        if not 1 <= level <= self.levels:
+            raise ValueError("level must be in 1..%d" % self.levels)
+        return self.radix_bits * (level - 1)
+
+    def level_index(self, vpn, level):
+        """The radix index selecting the entry at ``level``."""
+        return (vpn >> self.level_shift(level)) & (self.ptes_per_page - 1)
+
+    def node_prefix(self, vpn, level):
+        """Identifier of the page-table *node* consulted at ``level``.
+
+        The node read at level L is selected by the radix indices of all
+        levels above L, i.e. by ``vpn >> (radix_bits * L)``.  All VPNs
+        sharing that prefix read the same page-table page, so
+        ``(level, prefix)`` names one PT page.  In particular the leaf
+        node (level 1) prefix identifies the ``pte_page_span`` region
+        dHSL-coarse interleaves.
+        """
+        return vpn >> (self.radix_bits * level)
+
+    def prefix_span_pages(self, level):
+        """How many data pages one node at ``level`` maps."""
+        return 1 << (self.radix_bits * level)
+
+    def prefix_first_vpn(self, prefix, level):
+        """First VPN covered by the node ``(level, prefix)``."""
+        return prefix << (self.radix_bits * level)
+
+    # -- dHSL-coarse regions ------------------------------------------------
+
+    def pte_region(self, va):
+        """Index of the VA region whose leaf PTEs share one PT page."""
+        return va // self.pte_page_span
+
+    def pte_region_base(self, va):
+        return self.pte_region(va) * self.pte_page_span

@@ -1,0 +1,81 @@
+"""Miss-status holding registers for an L2 TLB slice.
+
+An MSHR entry tracks one outstanding page walk and the translation
+requests merged onto it.  When the file is full, new misses cannot be
+admitted — the back-pressure effect the paper highlights ("On an MSHR
+stall, no new TLB misses can be served") — so callers park requests in an
+overflow queue until an entry frees up.
+"""
+
+from collections import deque
+
+
+class MSHRFile:
+    """Tracks outstanding misses keyed by VPN, with an overflow queue."""
+
+    def __init__(self, capacity, name="mshr"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._entries = {}
+        self._overflow = deque()
+        self.allocations = 0
+        self.merges = 0
+        self.stall_events = 0
+        self.peak_occupancy = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, vpn):
+        return vpn in self._entries
+
+    @property
+    def full(self):
+        return len(self._entries) >= self.capacity
+
+    def merge(self, vpn, waiter):
+        """Attach ``waiter`` to an in-flight miss; True if one existed."""
+        waiters = self._entries.get(vpn)
+        if waiters is None:
+            return False
+        waiters.append(waiter)
+        self.merges += 1
+        return True
+
+    def allocate(self, vpn, waiter):
+        """Start tracking a new miss; False (and no change) when full."""
+        if vpn in self._entries:
+            raise ValueError("MSHR already tracking vpn %#x" % vpn)
+        if self.full:
+            self.stall_events += 1
+            return False
+        self._entries[vpn] = [waiter]
+        self.allocations += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return True
+
+    def complete(self, vpn):
+        """Retire the miss for ``vpn``; return its list of waiters."""
+        waiters = self._entries.pop(vpn, None)
+        if waiters is None:
+            raise KeyError("no MSHR entry for vpn %#x" % vpn)
+        return waiters
+
+    # -- overflow queue ------------------------------------------------------
+
+    def park(self, item):
+        """Queue a request that could not get an MSHR entry."""
+        self._overflow.append(item)
+
+    def unpark(self):
+        """Pop the oldest parked request, or None."""
+        if self._overflow:
+            return self._overflow.popleft()
+        return None
+
+    @property
+    def parked(self):
+        return len(self._overflow)

@@ -1,0 +1,25 @@
+"""The 15 evaluation workloads of the paper (Table II).
+
+Each workload is a synthetic generator that reproduces the published
+memory-access *pattern* of the original benchmark — the property the
+virtual-memory subsystem actually observes — together with its LASP
+classification and (scaled) footprint.
+"""
+
+from repro.workloads.base import AllocationSpec, KernelSpec, TraceContext
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    WORKLOAD_TABLE,
+    build_kernel,
+    workload_metadata,
+)
+
+__all__ = [
+    "AllocationSpec",
+    "KernelSpec",
+    "TraceContext",
+    "WORKLOAD_NAMES",
+    "WORKLOAD_TABLE",
+    "build_kernel",
+    "workload_metadata",
+]

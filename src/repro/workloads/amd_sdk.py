@@ -1,0 +1,106 @@
+"""AMD APP SDK workloads: FW, MT, SC (Table II).
+
+* **FW** (fast Walshall/Walsh transform, RCL): CTAs stream their own row
+  block while repeatedly reading a slowly-advancing shared pivot row.
+* **MT** (matrix transpose, NL): the input is read row-wise (local after
+  LASP placement) but the output is written column-wise — a page-sized
+  stride that sweeps the *whole* output allocation, so output data and
+  the corresponding PTEs are mostly remote under every baseline.  This
+  is the paper's example of unavoidable remote page walks.
+* **SC** (simple convolution, NL): heavy-compute streaming, MPKI ~0.4.
+"""
+
+import numpy as np
+
+from repro.vm.address import KB
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    LINE,
+    interleave,
+    streaming,
+    tile_of,
+)
+from repro.workloads.polybench import ROW_BYTES, RCL_STRIPE, _streaming_kernel
+from repro.workloads.scaling import scaled_bytes, scaled_count
+
+
+def fw(scale="default", mult=1):
+    """Fast Walsh transform (32 MB, RCL): shared pivot row + row blocks."""
+    size = scaled_bytes(32, scale, mult)
+    num_rows = size // ROW_BYTES
+    per_cta = scaled_count(512, scale)
+    num_ctas = 256
+
+    def trace(cta_id, ctx):
+        base = ctx.base("matrix")
+        start, extent = tile_of(cta_id, ctx.num_ctas, size)
+        steps = np.arange(per_cta, dtype=np.int64)
+        own = base + start + (steps * LINE) % max(extent, LINE)
+        # The pivot row advances every 8 steps; all CTAs read it.
+        pivot_rows = (steps // 8) % num_rows
+        pivot = base + pivot_rows * ROW_BYTES + (steps % (ROW_BYTES // LINE)) * LINE
+        return interleave(own, pivot)
+
+    return KernelSpec(
+        name="FW",
+        lasp_class="RCL",
+        allocations=[AllocationSpec("matrix", size, lasp_block=RCL_STRIPE)],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=6,
+        cta_partition="striped",
+        notes="Row blocks plus a shared, slowly advancing pivot row.",
+    )
+
+
+def mt(scale="default", mult=1):
+    """Matrix transpose (32 MB, NL): row-wise reads, column-wise writes."""
+    half = scaled_bytes(16, scale, mult)
+    per_cta = scaled_count(512, scale)
+    # A 2-D tile grid: CTA (rb, cb) reads input rows of block rb and
+    # writes output rows of block cb.  LASP's blocked CTA partition maps
+    # by rb, so input reads are local while each chiplet's output writes
+    # stride page-by-page across the whole output allocation — touched
+    # again and again by CTAs on every chiplet (the paper's "output
+    # accesses are largely remote", with the page-reuse that makes MT's
+    # MPKI capacity-sensitive).
+    col_blocks = 16
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        in_base = ctx.base("input")
+        out_base = ctx.base("output")
+        cb = cta_id % col_blocks
+        start, extent = tile_of(cta_id, ctx.num_ctas, half)
+        count = min(per_cta, max(extent // LINE, 1))
+        reads = streaming(in_base, start, count, LINE)
+        page = 4 * KB
+        out_pages = half // page
+        pages_per_cb = max(out_pages // col_blocks, 1)
+        steps = np.arange(count, dtype=np.int64)
+        out_rows = cb * pages_per_cb + steps % pages_per_cb
+        in_page_offset = (cta_id // col_blocks) * LINE % page
+        writes = out_base + out_rows * page + in_page_offset
+        return interleave(reads, writes)
+
+    return KernelSpec(
+        name="MT",
+        lasp_class="NL",
+        allocations=[
+            AllocationSpec("input", half),
+            AllocationSpec("output", half),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=4,
+        cta_partition="blocked",
+        notes="Output column writes sweep every chiplet: remote-heavy.",
+    )
+
+
+def sc(scale="default", mult=1):
+    """Simple convolution (512 MB, NL): compute-heavy streaming."""
+    return _streaming_kernel(
+        "SC", 512, scale, mult, compute_gap=39, stride=LINE, base_accesses=512
+    )

@@ -1,0 +1,33 @@
+"""GUPS: multi-threaded random access (Table II, unclassified).
+
+Uniformly random updates over a table roughly twice the aggregate L2 TLB
+reach: the canonical TLB-thrasher.  The shared design roughly halves the
+MPKI versus private (Table III: 698 -> 481) because private slices each
+cache a duplicated random subset while the shared TLB covers half the
+table; neither covers it fully.
+"""
+
+from repro.workloads.base import AllocationSpec, KernelSpec, uniform_random
+from repro.workloads.scaling import scaled_bytes, scaled_count
+
+
+def gups(scale="default", mult=1):
+    """Giga-updates-per-second random access (16 MB, unclassified)."""
+    table_size = scaled_bytes(16, scale, mult)
+    per_cta = scaled_count(256, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        rng = ctx.rng(cta_id)
+        return uniform_random(rng, ctx.base("table"), table_size, per_cta)
+
+    return KernelSpec(
+        name="GUPS",
+        lasp_class="unclassified",
+        allocations=[AllocationSpec("table", table_size)],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=0,
+        cta_partition="blocked",
+        notes="Uniform random updates across the whole table.",
+    )

@@ -1,0 +1,89 @@
+"""Hetero-mark workloads: KM, PR (Table II).
+
+* **KM** (k-means, ITL): each thread streams its own points while
+  repeatedly reading the small, shared centroid array (which lives
+  happily in the L1 TLBs).
+* **PR** (PageRank, ITL): irregular, skewed (Zipf) accesses over a rank
+  array whose footprint exceeds even the aggregate L2 TLB capacity —
+  the paper's example of an application no TLB organization saves
+  (MPKI ~90 everywhere), which therefore suffers most from remote
+  page-walk latency.
+"""
+
+import numpy as np
+
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    LINE,
+    interleave,
+    streaming,
+    tile_of,
+    zipf_random,
+)
+from repro.workloads.scaling import scaled_bytes, scaled_count
+
+
+def km(scale="default", mult=1):
+    """K-means clustering with 20 clusters (128 MB, ITL)."""
+    points_size = scaled_bytes(128, scale, mult)
+    centers_size = 32 * 1024  # 20 centroids: small and hot at any scale
+    per_cta = scaled_count(512, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        start, extent = tile_of(cta_id, ctx.num_ctas, points_size)
+        stride = 2 * LINE
+        count = min(per_cta, max(extent // stride, 1))
+        points = streaming(ctx.base("points"), start, count, stride)
+        steps = np.arange(count, dtype=np.int64)
+        centers = ctx.base("centers") + (steps * LINE) % centers_size
+        return interleave(points, centers)
+
+    return KernelSpec(
+        name="KM",
+        lasp_class="ITL",
+        allocations=[
+            AllocationSpec("points", points_size),
+            AllocationSpec("centers", centers_size),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=2,
+        cta_partition="round_robin",
+        cta_group=4,
+        notes="Point streaming with a small hot centroid array.",
+    )
+
+
+def pr(scale="default", mult=1):
+    """PageRank (256 MB, ITL): Zipf-skewed irregular rank gathers."""
+    ranks_size = scaled_bytes(192, scale, mult)
+    edges_size = scaled_bytes(64, scale, mult)
+    per_cta = scaled_count(384, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        rng = ctx.rng(cta_id)
+        start, extent = tile_of(cta_id, ctx.num_ctas, edges_size)
+        count = min(per_cta, max(extent // LINE, 1))
+        edges = streaming(ctx.base("edges"), start, count, LINE)
+        ranks = zipf_random(
+            rng, ctx.base("ranks"), ranks_size, count, alpha=1.1
+        )
+        return interleave(edges, ranks)
+
+    return KernelSpec(
+        name="PR",
+        lasp_class="ITL",
+        allocations=[
+            AllocationSpec("ranks", ranks_size),
+            AllocationSpec("edges", edges_size),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=1,
+        cta_partition="round_robin",
+        cta_group=4,
+        notes="Edge streaming plus Zipf gathers over an oversized rank array.",
+    )

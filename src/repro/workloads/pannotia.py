@@ -1,0 +1,77 @@
+"""Pannotia workload: MIS (Table II).
+
+**MIS** (maximal independent set, NL+ITL): adjacency lists stream per
+CTA tile (the NL part) while node-state reads hit random vertices across
+the whole graph and a *small hot frontier array* is hammered by every
+CTA (the ITL part).
+
+MIS is the paper's poster child for two effects at once:
+
+* the random whole-graph reads thrash each private L2 TLB slice but fit
+  the aggregate capacity (Table III: MPKI 260 private vs 2.1 shared);
+* the sub-2MB frontier maps onto a *single* slice under dHSL-coarse,
+  creating the traffic imbalance that forces dHSL-balance to switch to
+  fine-grain interleaving (Figure 7's gap between MGvm-no-balance and
+  MGvm).
+"""
+
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    LINE,
+    interleave_chunks,
+    streaming,
+    subset_random,
+    tile_of,
+    uniform_random,
+)
+from repro.workloads.scaling import scaled_bytes, scaled_count
+
+
+def mis(scale="default", mult=1):
+    """Maximal independent set (16 MB, NL+ITL)."""
+    adj_size = scaled_bytes(10, scale, mult)
+    # The node-state working set: spans enough leaf-PTE regions to spread
+    # over all chiplets and fits the *aggregate* L2 TLB while thrashing
+    # any single slice (Table III: MPKI 260 private vs 2.1 shared).
+    nodes_size = scaled_bytes(8, scale, mult)
+    frontier_size = min(scaled_bytes(1, scale, mult), 256 * 1024)
+    per_cta = scaled_count(384, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        rng = ctx.rng(cta_id)
+        start, extent = tile_of(cta_id, ctx.num_ctas, adj_size)
+        count = min(per_cta, max(extent // LINE, 1))
+        adjacency = streaming(ctx.base("adjacency"), start, count, LINE)
+        # Hot vertices: ~50% of the node pages, uniformly across every
+        # leaf-PTE span (fits the aggregate L2 TLB, thrashes one slice).
+        nodes = subset_random(
+            rng, ctx.base("nodes"), nodes_size, count, keep=2, outof=4
+        )
+        frontier = uniform_random(
+            rng, ctx.base("frontier"), frontier_size, count
+        )
+        # Per vertex visit: two frontier checks, one node-state read,
+        # then a burst of 8 neighbour-list reads.  The bursty adjacency
+        # scan keeps its page L1-TLB resident, so L2 TLB traffic is
+        # dominated by the frontier (which is what concentrates load on
+        # one slice under dHSL-coarse) and by the random node reads.
+        return interleave_chunks(
+            [(frontier, 2), (nodes, 1), (adjacency, 8)]
+        )
+
+    return KernelSpec(
+        name="MIS",
+        lasp_class="NL+ITL",
+        allocations=[
+            AllocationSpec("adjacency", adj_size),
+            AllocationSpec("nodes", nodes_size),
+            AllocationSpec("frontier", frontier_size),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=1,
+        cta_partition="blocked",
+        notes="Graph reads across the whole node array + hot small frontier.",
+    )

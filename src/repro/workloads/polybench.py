@@ -1,0 +1,163 @@
+"""Polybench workloads: C2D, J1D, J2D, SYRK, SYR2K (Table II).
+
+* **C2D / J1D / J2D** are NL streaming kernels: every CTA sweeps its own
+  contiguous tile of the input and output arrays.  LASP partitions both
+  data and CTAs blockwise, so data accesses are local; address-translation
+  traffic is cold-miss dominated (low MPKI).
+
+* **SYRK / SYR2K** are RCL kernels: a CTA computing a block of C reads
+  its own row block plus a *sweep* over all rows of the input, and all
+  CTAs sweep in phase.  The in-phase sweep concentrates L2 TLB traffic
+  on whichever 2 MB region currently holds the swept rows — the exact
+  behaviour that forces MGvm's dHSL-balance to drop to fine-grain
+  interleaving (Section VI-B of the paper).
+"""
+
+import numpy as np
+
+from repro.vm.address import KB
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    LINE,
+    interleave,
+    interleave_chunks,
+    streaming,
+    subset_random,
+    tile_of,
+)
+from repro.workloads.scaling import scaled_bytes, scaled_count
+
+ROW_BYTES = 4 * KB  # one matrix row per 4 KB page
+RCL_STRIPE = 8 * ROW_BYTES  # LASP stripes 8 rows per chiplet
+
+
+def _streaming_kernel(
+    name, paper_mb, scale, mult, compute_gap, stride, base_accesses, num_ctas=512
+):
+    """Shared shape of the NL streaming kernels (C2D, J1D, J2D, SC...)."""
+    half = scaled_bytes(paper_mb / 2, scale, mult)
+    per_cta = scaled_count(base_accesses, scale)
+
+    def trace(cta_id, ctx):
+        start_in, extent = tile_of(cta_id, ctx.num_ctas, half)
+        count = min(per_cta, max(extent // stride, 1))
+        reads = streaming(ctx.base("input"), start_in, count, stride)
+        writes = streaming(ctx.base("output"), start_in, count, stride)
+        return interleave(reads, writes)
+
+    return KernelSpec(
+        name=name,
+        lasp_class="NL",
+        allocations=[
+            AllocationSpec("input", half),
+            AllocationSpec("output", half),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=compute_gap,
+        cta_partition="blocked",
+        notes="NL streaming kernel: CTAs sweep mutually exclusive tiles.",
+    )
+
+
+def c2d(scale="default", mult=1):
+    """2-D convolution (512 MB, NL): streaming, very low MPKI."""
+    return _streaming_kernel(
+        "C2D", 512, scale, mult, compute_gap=15, stride=LINE, base_accesses=512
+    )
+
+
+def j1d(scale="default", mult=1):
+    """1-D Jacobi solver (512 MB, NL)."""
+    return _streaming_kernel(
+        "J1D", 512, scale, mult, compute_gap=4, stride=LINE, base_accesses=512
+    )
+
+
+def j2d(scale="default", mult=1):
+    """2-D Jacobi solver (128 MB, NL): stencil rows, still streaming."""
+    return _streaming_kernel(
+        "J2D", 128, scale, mult, compute_gap=6, stride=LINE, base_accesses=512
+    )
+
+
+def _rank_update_kernel(name, matrices, paper_mb, scale, mult, window_frac):
+    """Shared shape of SYRK / SYR2K (RCL row-sweep kernels).
+
+    Every CTA reads its own row block (streaming, local under LASP) and
+    gathers "pair" rows from a *sliding window* of currently-live rows —
+    the rows the in-flight CTA wave is working on:
+
+    * the windows (one per input matrix) together exceed one L2 TLB
+      slice, so the private design thrashes on the gathers while the
+      shared/MGvm aggregate retains them (Table III: SYRK 201 -> 53);
+    * each window spans one leaf-PTE region, so under dHSL-coarse all
+      gather traffic lands on a *single* slice at a time with a high hit
+      rate — exactly the imbalance that makes MGvm's dHSL-balance drop
+      to fine-grain interleaving early in the run (Section VI-B).
+
+    ``window_frac`` positions the window at one leaf-PTE span for the
+    matrix sizes of each benchmark (checked at both paper and default
+    scales).
+    """
+    size = scaled_bytes(paper_mb / len(matrices), scale, mult)
+    num_rows = size // ROW_BYTES
+    num_ctas = 512
+    sweep_steps = scaled_count(1024, scale)
+    window_rows = max(num_rows // window_frac, 4)
+
+    def trace(cta_id, ctx):
+        rng = ctx.rng(cta_id)
+        rows_per_cta = max(num_rows // ctx.num_ctas, 1)
+        own_row = (cta_id * rows_per_cta) % num_rows
+        steps = np.arange(sweep_steps, dtype=np.int64)
+        parts = []
+        for matrix in matrices:
+            base = ctx.base(matrix)
+            # Hot panel: the row window every CTA is currently reducing
+            # against.  All CTAs hammer it concurrently, so its leaf-PTE
+            # region's slice takes the brunt under dHSL-coarse.
+            hot_rows = rng.integers(0, window_rows, sweep_steps)
+            hot_off = rng.integers(0, ROW_BYTES // LINE, sweep_steps) * LINE
+            parts.append((base + hot_rows * ROW_BYTES + hot_off, 2))
+            # Background gathers across the whole matrix (the rank update
+            # reads every row against every other): working set sized to
+            # the aggregate L2 TLB, far beyond one private slice.
+            parts.append(
+                (subset_random(rng, base, size, sweep_steps, keep=1, outof=4), 1)
+            )
+        own_base = ctx.base(matrices[0]) + own_row * ROW_BYTES
+        own = own_base + (steps * LINE) % (rows_per_cta * ROW_BYTES)
+        parts.append((own, 1))
+        return interleave_chunks(parts)
+
+    return KernelSpec(
+        name=name,
+        lasp_class="RCL",
+        allocations=[
+            AllocationSpec(matrix, size, lasp_block=RCL_STRIPE)
+            for matrix in matrices
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=0,
+        cta_partition="striped",
+        cta_group=1,
+        notes=(
+            "RCL rank-update: CTAs sweep all rows in phase, concentrating "
+            "L2 TLB traffic on one 2MB region at a time under dHSL-coarse."
+        ),
+    )
+
+
+def syrk(scale="default", mult=1):
+    """Symmetric rank-k update (32 MB, RCL)."""
+    return _rank_update_kernel("SYRK", ["matrix"], 32, scale, mult, window_frac=16)
+
+
+def syr2k(scale="default", mult=1):
+    """Symmetric rank-2k update (16 MB, RCL), two input matrices."""
+    return _rank_update_kernel(
+        "SYR2", ["matrix_a", "matrix_b"], 16, scale, mult, window_frac=8
+    )

@@ -1,0 +1,70 @@
+"""Registry of the 15 evaluation workloads (Table II of the paper)."""
+
+from dataclasses import dataclass
+
+from repro.workloads import amd_sdk, gups, heteromark, pannotia, polybench, shoc
+
+
+@dataclass(frozen=True)
+class WorkloadMeta:
+    """Table II row: abbreviation, suite, footprint, LASP class."""
+
+    abbr: str
+    benchmark: str
+    suite: str
+    paper_mb: int
+    lasp_class: str
+    builder: object
+
+
+WORKLOAD_TABLE = {
+    meta.abbr: meta
+    for meta in [
+        WorkloadMeta("C2D", "2-D convolution", "Polybench", 512, "NL", polybench.c2d),
+        WorkloadMeta("FW", "fast Walsh transform", "AMD APP SDK", 32, "RCL", amd_sdk.fw),
+        WorkloadMeta(
+            "GUPS", "multi-threaded random access", "micro", 16, "unclassified", gups.gups
+        ),
+        WorkloadMeta("J1D", "1-D Jacobi solver", "Polybench", 512, "NL", polybench.j1d),
+        WorkloadMeta("J2D", "2-D Jacobi solver", "Polybench", 128, "NL", polybench.j2d),
+        WorkloadMeta("KM", "kmeans clustering", "Hetero-mark", 128, "ITL", heteromark.km),
+        WorkloadMeta("MT", "matrix transpose", "AMD APP SDK", 32, "NL", amd_sdk.mt),
+        WorkloadMeta("MIS", "max. independent set", "Pannotia", 16, "NL+ITL", pannotia.mis),
+        WorkloadMeta("PR", "PageRank", "Hetero-mark", 256, "ITL", heteromark.pr),
+        WorkloadMeta("SC", "simple convolution", "AMD APP SDK", 512, "NL", amd_sdk.sc),
+        WorkloadMeta("RED", "reduction kernel", "SHOC", 256, "NL", shoc.red),
+        WorkloadMeta(
+            "SPMV", "sparse matrix-vector multiply", "SHOC", 360, "ITL", shoc.spmv
+        ),
+        WorkloadMeta("S2D", "2-D stencil", "SHOC", 32, "NL", shoc.s2d),
+        WorkloadMeta("SYRK", "symmetric rank-k update", "Polybench", 32, "RCL", polybench.syrk),
+        WorkloadMeta(
+            "SYR2", "symmetric rank-2k update", "Polybench", 16, "RCL", polybench.syr2k
+        ),
+    ]
+}
+
+WORKLOAD_NAMES = tuple(WORKLOAD_TABLE)
+
+
+def build_kernel(name, scale="default", mult=1):
+    """Instantiate the named workload's kernel at a given scale."""
+    try:
+        meta = WORKLOAD_TABLE[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (choose from %s)"
+            % (name, ", ".join(WORKLOAD_NAMES))
+        ) from None
+    return meta.builder(scale=scale, mult=mult)
+
+
+def workload_metadata(name):
+    """Table II metadata for the named workload."""
+    try:
+        return WORKLOAD_TABLE[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (choose from %s)"
+            % (name, ", ".join(WORKLOAD_NAMES))
+        ) from None

@@ -1,0 +1,31 @@
+"""Scaling of workload footprints and trace volumes.
+
+Table II footprints are divided by the scale's ``footprint_divisor``
+(rounded to a power of two, with a floor of 64 pages so every allocation
+still spans multiple leaf PT pages), and per-CTA trace lengths are
+multiplied by ``trace_scale``.
+"""
+
+from repro.arch.params import scale_info
+from repro.vm.address import KB, MB
+
+MIN_ALLOC = 256 * KB
+
+
+def pow2_floor(value):
+    if value < 1:
+        raise ValueError("value must be >= 1")
+    return 1 << (value.bit_length() - 1)
+
+
+def scaled_bytes(paper_mb, scale="default", mult=1):
+    """Power-of-two allocation size for a Table II footprint."""
+    divisor = scale_info(scale)["footprint_divisor"]
+    raw = int(paper_mb * MB * mult) // divisor
+    return max(pow2_floor(max(raw, 1)), MIN_ALLOC)
+
+
+def scaled_count(base, scale="default", minimum=8):
+    """Scale a per-CTA access count by the scale's trace factor."""
+    factor = scale_info(scale)["trace_scale"]
+    return max(int(base * factor), minimum)

@@ -1,0 +1,130 @@
+"""SHOC workloads: RED, SPMV, S2D (Table II).
+
+* **RED** (reduction, NL): log-tree passes over a shrinking array.
+* **SPMV** (sparse matrix-vector multiply, ITL): CSR values stream while
+  the dense vector is gathered at random by every CTA — the
+  aggregate-TLB-capacity showcase (private MPKI 1531 vs shared 423 in
+  Table III).
+* **S2D** (2-D stencil, NL): streaming over a small matrix with halo
+  re-reads.
+"""
+
+import numpy as np
+
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    LINE,
+    interleave,
+    streaming,
+    tile_of,
+    uniform_random,
+)
+from repro.workloads.scaling import scaled_bytes, scaled_count
+
+
+def red(scale="default", mult=1):
+    """Reduction kernel (256 MB, NL): tree passes over a tile."""
+    size = scaled_bytes(256, scale, mult)
+    per_cta = scaled_count(512, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        base = ctx.base("input")
+        start, extent = tile_of(cta_id, ctx.num_ctas, size)
+        # Three tree levels: a full pass, a half pass, a quarter pass.
+        passes = []
+        remaining = per_cta
+        stride = 2 * LINE
+        for _level in range(3):
+            count = max(remaining // 2, 4)
+            count = min(count, max(extent // stride, 1))
+            passes.append(streaming(base, start, count, stride))
+            remaining -= count
+            stride *= 2
+        return np.concatenate(passes)
+
+    return KernelSpec(
+        name="RED",
+        lasp_class="NL",
+        allocations=[AllocationSpec("input", size)],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=4,
+        cta_partition="blocked",
+        notes="Tree reduction: shrinking streaming passes.",
+    )
+
+
+def spmv(scale="default", mult=1):
+    """Sparse matrix-vector multiply (360 MB, ITL): random vector gathers."""
+    vals_size = scaled_bytes(256, scale, mult)
+    cols_size = scaled_bytes(64, scale, mult)
+    vec_size = scaled_bytes(8, scale, mult)
+    per_cta = scaled_count(384, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        rng = ctx.rng(cta_id)
+        start, extent = tile_of(cta_id, ctx.num_ctas, vals_size)
+        count = min(per_cta, max(extent // LINE, 1))
+        vals = streaming(ctx.base("values"), start, count, LINE)
+        cols_start, _ = tile_of(cta_id, ctx.num_ctas, cols_size)
+        cols = streaming(ctx.base("columns"), cols_start, count, LINE)
+        # The gathers: every CTA reads random vector elements; gathers
+        # dominate the translation traffic (two per CSR element), which
+        # is what drives SPMV's enormous private-TLB MPKI in Table III.
+        vector = uniform_random(rng, ctx.base("vector"), vec_size, count)
+        vector2 = uniform_random(rng, ctx.base("vector"), vec_size, count)
+        return interleave(vals, vector, cols, vector2)
+
+    return KernelSpec(
+        name="SPMV",
+        lasp_class="ITL",
+        allocations=[
+            AllocationSpec("values", vals_size),
+            AllocationSpec("columns", cols_size),
+            AllocationSpec("vector", vec_size),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=0,
+        cta_partition="round_robin",
+        cta_group=4,
+        notes="CSR streaming plus all-CTA random gathers into the vector.",
+    )
+
+
+def s2d(scale="default", mult=1):
+    """2-D stencil (32 MB, NL): streaming with halo re-reads."""
+    half = scaled_bytes(16, scale, mult)
+    per_cta = scaled_count(512, scale)
+    num_ctas = 512
+
+    def trace(cta_id, ctx):
+        base_in = ctx.base("input")
+        base_out = ctx.base("output")
+        start, extent = tile_of(cta_id, ctx.num_ctas, half)
+        stride = 4 * LINE
+        count = min(per_cta, max(extent // stride, 1))
+        center = streaming(base_in, start, count, stride)
+        # Halo rows come from the neighbouring CTA's tile.
+        neighbour = (cta_id + 1) % ctx.num_ctas
+        n_start, _ = tile_of(neighbour, ctx.num_ctas, half)
+        halo = streaming(base_in, n_start, count, stride)
+        writes = streaming(base_out, start, count, stride)
+        return interleave(center, halo, writes)
+
+    return KernelSpec(
+        name="S2D",
+        lasp_class="NL",
+        allocations=[
+            AllocationSpec("input", half),
+            AllocationSpec("output", half),
+        ],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=4,
+        cta_partition="blocked",
+        notes="Stencil: tile streaming plus neighbour-tile halo reads.",
+    )

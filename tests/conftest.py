@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite.
+
+Smoke-scale simulations are expensive enough (tenths of a second) that
+integration tests share cached runs via the ``run_cache`` fixture.
+"""
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.sim.simulator import simulate
+from repro.workloads.registry import build_kernel
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def smoke_params():
+    return scaled_params("smoke")
+
+
+@pytest.fixture(scope="session")
+def run_smoke():
+    """Session-cached smoke-scale simulation runner."""
+
+    def run(workload, design_name, **overrides):
+        key = (workload, design_name, tuple(sorted(overrides.items())))
+        if key not in _CACHE:
+            params = scaled_params("smoke", **overrides)
+            kernel = build_kernel(workload, scale="smoke")
+            _CACHE[key] = simulate(kernel, params, design(design_name))
+        return _CACHE[key]
+
+    return run

@@ -1,0 +1,130 @@
+"""Tests for virtual-address geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.address import (
+    ARCH_PTES_PER_PAGE,
+    KB,
+    MB,
+    PageGeometry,
+    SUPPORTED_PAGE_SIZES,
+)
+
+
+@pytest.fixture
+def geo():
+    return PageGeometry(4 * KB)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("size", SUPPORTED_PAGE_SIZES)
+    def test_supported_page_sizes(self, size):
+        assert PageGeometry(size).page_size == size
+
+    def test_rejects_unsupported_page_size(self):
+        with pytest.raises(ValueError):
+            PageGeometry(8 * KB)
+
+    def test_rejects_non_pow2_radix(self):
+        with pytest.raises(ValueError):
+            PageGeometry(4 * KB, ptes_per_page=100)
+
+    def test_equality_and_hash(self):
+        a = PageGeometry(4 * KB)
+        b = PageGeometry(4 * KB)
+        c = PageGeometry(64 * KB)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_arch_default_radix(self):
+        assert PageGeometry(4 * KB).ptes_per_page == ARCH_PTES_PER_PAGE
+
+
+class TestSpans:
+    def test_4k_pages_arch_span_is_2mb(self):
+        # The constant at the heart of dHSL-coarse: one 4 KB PT page of
+        # 512 leaf PTEs maps 2 MB of VA.
+        assert PageGeometry(4 * KB).pte_page_span == 2 * MB
+
+    def test_64k_pages_arch_span_is_32mb(self):
+        # Section V: with 64 KB pages one leaf PT page maps 32 MB.
+        assert PageGeometry(64 * KB).pte_page_span == 32 * MB
+
+    def test_scaled_radix_shrinks_span(self):
+        assert PageGeometry(4 * KB, ptes_per_page=128).pte_page_span == 512 * KB
+
+
+class TestAddressArithmetic:
+    def test_vpn_and_offset(self, geo):
+        va = 5 * 4096 + 123
+        assert geo.vpn(va) == 5
+        assert geo.page_offset(va) == 123
+        assert geo.page_base(va) == 5 * 4096
+
+    def test_pages_in_rounds_up(self, geo):
+        assert geo.pages_in(1) == 1
+        assert geo.pages_in(4096) == 1
+        assert geo.pages_in(4097) == 2
+
+    @given(st.integers(0, 2**48))
+    def test_vpn_offset_reconstruct(self, va):
+        geo = PageGeometry(4 * KB)
+        assert geo.vpn(va) * geo.page_size + geo.page_offset(va) == va
+
+
+class TestRadixIndexing:
+    def test_level_bounds(self, geo):
+        with pytest.raises(ValueError):
+            geo.level_shift(0)
+        with pytest.raises(ValueError):
+            geo.level_shift(5)
+
+    def test_leaf_node_prefix_groups_512_pages(self, geo):
+        # VPNs 0..511 share one leaf PT page; 512 starts the next.
+        assert geo.node_prefix(0, 1) == geo.node_prefix(511, 1)
+        assert geo.node_prefix(511, 1) != geo.node_prefix(512, 1)
+
+    def test_level_index_within_radix(self, geo):
+        for vpn in (0, 1, 511, 512, 12345678):
+            for level in range(1, 5):
+                assert 0 <= geo.level_index(vpn, level) < geo.ptes_per_page
+
+    def test_prefix_span_pages(self, geo):
+        assert geo.prefix_span_pages(1) == 512
+        assert geo.prefix_span_pages(2) == 512 * 512
+
+    def test_prefix_first_vpn_roundtrip(self, geo):
+        vpn = 123456789
+        for level in range(1, 5):
+            prefix = geo.node_prefix(vpn, level)
+            first = geo.prefix_first_vpn(prefix, level)
+            assert first <= vpn < first + geo.prefix_span_pages(level)
+
+    @given(st.integers(0, 2**40), st.integers(1, 4))
+    def test_index_reconstructs_prefix_path(self, vpn, level):
+        geo = PageGeometry(4 * KB)
+        # Walking down from a node's prefix with the level index lands on
+        # the child's prefix.
+        parent_prefix = geo.node_prefix(vpn, level)
+        index = geo.level_index(vpn, level)
+        child_prefix = parent_prefix * geo.ptes_per_page + index
+        if level > 1:
+            assert child_prefix == geo.node_prefix(vpn, level - 1)
+        else:
+            assert child_prefix == vpn
+
+
+class TestRegions:
+    def test_pte_region_indexing(self, geo):
+        assert geo.pte_region(0) == 0
+        assert geo.pte_region(2 * MB - 1) == 0
+        assert geo.pte_region(2 * MB) == 1
+
+    def test_pte_region_base(self, geo):
+        assert geo.pte_region_base(3 * MB) == 2 * MB
+
+    def test_region_matches_leaf_prefix(self, geo):
+        # A leaf PT node and a dHSL-coarse region are the same thing.
+        for va in (0, 2 * MB - 4096, 7 * MB, 123456789 * 4096):
+            assert geo.pte_region(va) == geo.node_prefix(geo.vpn(va), 1)

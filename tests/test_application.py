@@ -1,0 +1,153 @@
+"""Tests for multi-kernel applications and per-kernel HSL selection."""
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.sim.application import ApplicationResult, simulate_application
+from repro.workloads.registry import build_kernel
+
+
+@pytest.fixture(scope="module")
+def params():
+    return scaled_params("smoke")
+
+
+class TestApplication:
+    def test_kernels_run_sequentially(self, params):
+        kernels = [
+            build_kernel("J1D", scale="smoke"),
+            build_kernel("GUPS", scale="smoke"),
+        ]
+        result = simulate_application(kernels, params, design("mgvm"))
+        assert result.kernel_names == ["J1D", "GUPS"]
+        assert len(result.kernel_stats) == 2
+        assert result.total_cycles == pytest.approx(
+            sum(s.cycles for s in result.kernel_stats)
+        )
+        assert result.total_instructions == sum(
+            s.instructions for s in result.kernel_stats
+        )
+
+    def test_per_kernel_hsl_differs(self, params):
+        # J1D (huge NL allocation) and GUPS (small table) get different
+        # dHSL-coarse granularities — the point of the "d" in dHSL.
+        kernels = [
+            build_kernel("J1D", scale="smoke"),
+            build_kernel("GUPS", scale="smoke"),
+        ]
+        result = simulate_application(kernels, params, design("mgvm"))
+        assert result.hsl_granularities[0] != result.hsl_granularities[1]
+
+    def test_aggregate_metrics(self, params):
+        kernels = [build_kernel("GUPS", scale="smoke")]
+        result = simulate_application(kernels, params, design("private"))
+        single = result.kernel_stats[0]
+        assert result.throughput == pytest.approx(single.throughput)
+        assert result.mpki == pytest.approx(single.mpki)
+
+    def test_empty_application(self, params):
+        result = simulate_application([], params, design("mgvm"))
+        assert isinstance(result, ApplicationResult)
+        assert result.throughput == 0.0
+        assert result.mpki == 0.0
+
+    def test_shared_design_records_page_granularity(self, params):
+        kernels = [build_kernel("GUPS", scale="smoke")]
+        result = simulate_application(kernels, params, design("shared"))
+        assert result.hsl_granularities == [params.page_size]
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "GUPS" in out and "mgvm" in out
+
+    def test_run_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "GUPS", "--scale", "smoke",
+                     "--designs", "private", "mgvm"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_figure_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "fig.txt"
+        assert main([
+            "figure", "figure3", "--scale", "smoke",
+            "--workloads", "GUPS", "--out", str(out_file),
+        ]) == 0
+        assert "Figure 3" in out_file.read_text()
+
+    def test_sweep_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "results.csv"
+        assert main([
+            "sweep", "--scale", "smoke", "--workloads", "GUPS",
+            "--designs", "private", "mgvm", "--out", str(out_file),
+        ]) == 0
+        content = out_file.read_text()
+        assert "GUPS" in content
+        normalized = tmp_path / "results.normalized.csv"
+        assert normalized.exists()
+
+
+class TestExport:
+    def test_raw_and_normalized_csv(self, tmp_path):
+        from repro.experiments.runner import ExperimentRunner
+        from repro.stats.export import read_csv, write_normalized_csv, write_raw_csv
+
+        runner = ExperimentRunner(scale="smoke")
+        records = [
+            runner.run("GUPS", "private"),
+            runner.run("GUPS", "mgvm"),
+        ]
+        raw = tmp_path / "raw.csv"
+        write_raw_csv(records, str(raw))
+        rows = read_csv(str(raw))
+        assert rows[0]["workload"] == "GUPS"
+
+        norm = tmp_path / "norm.csv"
+        write_normalized_csv(records, str(norm))
+        rows = read_csv(str(norm))
+        assert float(rows[0]["private"]) == 1.0
+
+    def test_normalized_requires_baseline(self, tmp_path):
+        from repro.experiments.runner import ExperimentRunner
+        from repro.stats.export import write_normalized_csv
+
+        runner = ExperimentRunner(scale="smoke")
+        records = [runner.run("GUPS", "mgvm")]
+        with pytest.raises(ValueError):
+            write_normalized_csv(records, str(tmp_path / "x.csv"))
+
+
+class TestMagicSwitching:
+    def test_magic_switch_applies_instantly(self):
+        from repro.core.balance import BalanceController, BalanceParams
+        from repro.core.hsl import DynamicHSL
+        from repro.engine.event_queue import Engine
+        from repro.vm.address import KB, MB
+
+        engine = Engine()
+        hsl = DynamicHSL(2 * MB, 4 * KB, 4)
+        controller = BalanceController(
+            engine, hsl, 4, 32.0,
+            params=BalanceParams(
+                epoch_length=50, share_threshold=0.5,
+                hit_rate_threshold=0.5, magic=True,
+            ),
+        )
+        for i in range(400):
+            controller.note_routed(1 + i % 3, 0)
+            controller.note_slice_access(0, True, coarse_home=0)
+        # No engine.run() needed: magic switching is synchronous.
+        assert hsl.commanded == "fine"
+        for component in hsl.components():
+            assert hsl.mode_of(component) == "fine"

@@ -1,0 +1,131 @@
+"""Unit tests for the dHSL-balance controller (Listing 2 machinery)."""
+
+import pytest
+
+from repro.core.balance import BalanceController, BalanceParams
+from repro.core.hsl import DynamicHSL
+from repro.engine.event_queue import Engine
+from repro.vm.address import KB, MB
+
+
+def make_controller(epoch=100, share=0.8, hit=0.9):
+    engine = Engine()
+    hsl = DynamicHSL(2 * MB, 4 * KB, 4)
+    params = BalanceParams(
+        epoch_length=epoch, share_threshold=share, hit_rate_threshold=hit
+    )
+    controller = BalanceController(engine, hsl, 4, link_latency=32.0, params=params)
+    return engine, hsl, controller
+
+
+def drive_hot_slice(engine, controller, requests, hot=0, hit=True):
+    """Route ``requests`` remote translations into one hot slice."""
+    for i in range(requests):
+        src = 1 + (i % 3)  # everyone else sends to the hot chiplet
+        controller.note_routed(src, hot)
+        controller.note_slice_access(hot, hit, coarse_home=hot)
+        engine.run()
+
+
+class TestRTUCounters:
+    def test_local_requests_bypass_rtu(self):
+        engine, _hsl, controller = make_controller()
+        controller.note_routed(2, 2)
+        assert controller._rtus[2].incoming == 0
+        assert controller._rtus[2].outgoing == 0
+
+    def test_remote_request_counts_both_ends(self):
+        _engine, _hsl, controller = make_controller()
+        controller.note_routed(1, 0)
+        assert controller._rtus[1].outgoing == 1
+        assert controller._rtus[0].incoming == 1
+
+    def test_epoch_rolls_after_epoch_length(self):
+        engine, _hsl, controller = make_controller(epoch=10)
+        drive_hot_slice(engine, controller, 10)
+        rtu = controller._rtus[0]
+        assert rtu.incoming == 0  # rolled
+        assert rtu.prev_incoming == 10
+
+
+class TestSwitchToFine:
+    def test_hot_slice_with_high_hit_rate_switches(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        drive_hot_slice(engine, controller, 800, hit=True)
+        engine.run()
+        assert hsl.commanded == "fine"
+        assert controller.alerts >= 2
+        assert len(controller.switch_events) == 1
+
+    def test_low_hit_rate_blocks_switch(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        drive_hot_slice(engine, controller, 800, hit=False)
+        engine.run()
+        assert hsl.commanded == "coarse"
+
+    def test_balanced_traffic_never_alerts(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        # Uniform all-to-all traffic: every RTU has incoming ~ outgoing.
+        for i in range(1200):
+            src = i % 4
+            dst = (src + 1 + i % 3) % 4
+            controller.note_routed(src, dst)
+            controller.note_slice_access(dst, True, coarse_home=dst)
+        engine.run()
+        assert hsl.commanded == "coarse"
+        assert controller.alerts == 0
+
+    def test_components_switch_asynchronously(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        drive_hot_slice(engine, controller, 800)
+        # The broadcast is in flight: commanded is fine, but component
+        # copies update only after the link-latency delivery events run.
+        switch_time = controller.switch_events[0][0] if controller.switch_events else None
+        assert switch_time is not None
+        for component in hsl.components():
+            assert hsl.mode_of(component) in ("coarse", "fine")
+        engine.run()
+        for component in hsl.components():
+            assert hsl.mode_of(component) == "fine"
+
+    def test_one_possible_epoch_is_not_enough(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        drive_hot_slice(engine, controller, 100)
+        engine.run()
+        assert controller.alerts == 0
+        assert hsl.commanded == "coarse"
+
+
+class TestSwitchBack:
+    def test_dissipated_imbalance_switches_back(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        drive_hot_slice(engine, controller, 800)
+        engine.run()
+        assert hsl.commanded == "fine"
+        # Now every slice sees accesses whose coarse-home tags are
+        # spread evenly: the concentration has dissipated.
+        for i in range(400):
+            controller.note_slice_access(i % 4, True, coarse_home=(i // 4) % 4)
+        engine.run()
+        assert hsl.commanded == "coarse"
+
+    def test_persistent_concentration_stays_fine(self):
+        engine, hsl, controller = make_controller(epoch=100)
+        drive_hot_slice(engine, controller, 800)
+        engine.run()
+        # Tags still concentrated on chiplet 0's coarse home.
+        for i in range(400):
+            controller.note_slice_access(i % 4, True, coarse_home=0)
+        engine.run()
+        assert hsl.commanded == "fine"
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = BalanceParams()
+        assert params.epoch_length == 5000
+        assert params.share_threshold == 0.8
+        assert params.hit_rate_threshold == 0.9
+        assert params.rtu_trigger_ratio == 2.0
+        assert params.consecutive_epochs == 2
+        assert params.switch_back_share == 0.5

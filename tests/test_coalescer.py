@@ -1,0 +1,113 @@
+"""Tests for the wavefront memory-access coalescer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.coalescer import (
+    CoalescedWavefront,
+    WavefrontCoalescer,
+    coalesce_wavefront,
+)
+
+
+class TestCoalesceWavefront:
+    def test_fully_convergent_wavefront_is_one_request(self):
+        addrs = [0x1000 + lane for lane in range(64)]
+        result = coalesce_wavefront(addrs)
+        assert result.line_addresses == [0x1000]
+        assert result.pages_touched == 1
+        assert result.lanes == 64
+
+    def test_unit_stride_covers_line_per_16_lanes(self):
+        # 4-byte elements, 64 lanes -> 256 bytes -> 4 lines.
+        addrs = [0x2000 + 4 * lane for lane in range(64)]
+        result = coalesce_wavefront(addrs)
+        assert result.lines_touched == 4
+        assert result.line_addresses == [0x2000, 0x2040, 0x2080, 0x20C0]
+
+    def test_fully_divergent_wavefront(self):
+        addrs = [lane * 4096 for lane in range(64)]
+        result = coalesce_wavefront(addrs)
+        assert result.lines_touched == 64
+        assert result.pages_touched == 64
+        assert result.line_divergence == 1.0
+
+    def test_preserves_first_appearance_order(self):
+        addrs = [0x3000, 0x1000, 0x3001, 0x2000]
+        result = coalesce_wavefront(addrs)
+        assert result.line_addresses == [0x3000, 0x1000, 0x2000]
+
+    def test_empty_wavefront(self):
+        result = coalesce_wavefront([])
+        assert isinstance(result, CoalescedWavefront)
+        assert result.line_addresses == []
+        assert result.line_divergence == 0.0
+
+    def test_page_counting_respects_page_size(self):
+        addrs = [0, 4096, 8192]
+        small = coalesce_wavefront(addrs, page_size=4096)
+        large = coalesce_wavefront(addrs, page_size=65536)
+        assert small.pages_touched == 3
+        assert large.pages_touched == 1
+
+    @given(st.lists(st.integers(0, 2**30), min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_lines_cover_every_lane(self, addrs):
+        result = coalesce_wavefront(addrs)
+        lines = set(result.line_addresses)
+        for addr in addrs:
+            assert (addr // 64) * 64 in lines
+        # No duplicate lines.
+        assert len(lines) == len(result.line_addresses)
+
+
+class TestWavefrontCoalescer:
+    def test_aggregate_statistics(self):
+        coalescer = WavefrontCoalescer()
+        coalescer.coalesce([0x1000 + i for i in range(64)])  # 1 line
+        coalescer.coalesce([i * 4096 for i in range(64)])  # 64 lines
+        assert coalescer.wavefronts == 2
+        assert coalescer.lanes_total == 128
+        assert coalescer.lines_total == 65
+        assert coalescer.avg_lines_per_wavefront == pytest.approx(32.5)
+        assert coalescer.compression_ratio == pytest.approx(128 / 65)
+
+    def test_coalesce_trace_flattens(self):
+        coalescer = WavefrontCoalescer()
+        lane_trace = np.array(
+            [
+                [0x1000 + i for i in range(8)],  # one line
+                [0x5000 + 64 * i for i in range(8)],  # eight lines
+            ]
+        )
+        trace = coalescer.coalesce_trace(lane_trace)
+        assert len(trace) == 9
+        assert trace[0] == 0x1000
+
+    def test_trace_feeds_simulator(self):
+        """A coalesced per-lane workload runs end-to-end."""
+        from repro.arch.params import scaled_params
+        from repro.core.config import design
+        from repro.sim.simulator import simulate
+        from repro.vm.address import MB
+        from repro.workloads.base import AllocationSpec, KernelSpec
+
+        coalescer = WavefrontCoalescer()
+
+        def trace(cta_id, ctx):
+            rng = ctx.rng(cta_id)
+            lanes = rng.integers(0, 1 * MB, size=(4, 16), dtype=np.int64)
+            return ctx.base("a") + coalescer.coalesce_trace(lanes % (1 * MB))
+
+        kernel = KernelSpec(
+            name="lanes",
+            lasp_class="unclassified",
+            allocations=[AllocationSpec("a", 1 * MB)],
+            num_ctas=4,
+            trace=trace,
+            compute_gap=1,
+        )
+        stats = simulate(kernel, scaled_params("smoke"), design("mgvm"))
+        assert stats.mem_accesses > 0
+        assert coalescer.wavefronts == 16

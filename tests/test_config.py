@@ -1,0 +1,115 @@
+"""Tests for VM design presets and GPU parameters."""
+
+import pytest
+
+from repro.arch.params import GPUParams, scale_info, scaled_params
+from repro.core.config import DESIGNS, VMDesign, design
+
+
+class TestDesignPresets:
+    def test_all_paper_configurations_present(self):
+        for name in (
+            "private",
+            "shared",
+            "mgvm-nobalance",
+            "mgvm",
+            "mgvm-rr",
+            "private-rr",
+            "shared-rr",
+            "private-ptr",
+            "shared-ptr",
+            "remote-caching",
+            "private-naive-pte",
+        ):
+            assert name in DESIGNS
+
+    def test_lookup_by_name(self):
+        assert design("mgvm").balance
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            design("turbo")
+
+    def test_mgvm_uses_dhsl_and_hsl_pte(self):
+        d = design("mgvm")
+        assert d.hsl_mode == "dhsl"
+        assert d.pte_policy == "hsl"
+
+    def test_baselines_follow_data(self):
+        assert design("private").pte_policy == "follow_data"
+        assert design("shared").pte_policy == "follow_data"
+
+    def test_rr_designs_use_round_robin_everything(self):
+        d = design("mgvm-rr")
+        assert d.cta_policy == "round_robin"
+        assert d.data_policy == "round_robin"
+
+    def test_ptr_designs_replicate(self):
+        assert design("private-ptr").pte_policy == "replicated"
+        assert design("shared-ptr").pte_policy == "replicated"
+
+    def test_remote_caching_flag(self):
+        assert design("remote-caching").remote_tlb_caching
+        assert not design("shared").remote_tlb_caching
+
+    def test_balance_requires_dhsl(self):
+        with pytest.raises(ValueError):
+            VMDesign(name="bad", hsl_mode="private", balance=True)
+
+    def test_validation_of_fields(self):
+        with pytest.raises(ValueError):
+            VMDesign(name="bad", hsl_mode="psychic")
+        with pytest.raises(ValueError):
+            VMDesign(name="bad", pte_policy="scattered")
+        with pytest.raises(ValueError):
+            VMDesign(name="bad", cta_policy="chaotic")
+
+    def test_designs_frozen(self):
+        with pytest.raises(Exception):
+            design("private").balance = True
+
+
+class TestParams:
+    def test_paper_scale_matches_table1(self):
+        p = scaled_params("paper")
+        assert p.num_chiplets == 4
+        assert p.cus_per_chiplet == 32
+        assert p.l2_tlb_entries == 512
+        assert p.l2_tlb_assoc == 8
+        assert p.l2_tlb_mshrs == 64
+        assert p.num_walkers == 16
+        assert p.pwc_entries == 32
+        assert p.link_latency == 32.0
+        assert p.dram_latency == 100.0
+        assert p.ptes_per_page == 512
+
+    def test_total_cus(self):
+        assert GPUParams().total_cus == 128
+
+    def test_with_overrides_copies(self):
+        base = GPUParams()
+        doubled = base.with_overrides(l2_tlb_entries=1024)
+        assert doubled.l2_tlb_entries == 1024
+        assert base.l2_tlb_entries == 512
+
+    def test_scaled_params_accepts_overrides(self):
+        p = scaled_params("default", link_latency=64.0)
+        assert p.link_latency == 64.0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_params("galactic")
+        with pytest.raises(ValueError):
+            scale_info("galactic")
+
+    def test_smaller_scales_shrink_machine_and_footprint_together(self):
+        default = scaled_params("default")
+        paper = scaled_params("paper")
+        ratio = paper.l2_tlb_entries / default.l2_tlb_entries
+        assert scale_info("default")["footprint_divisor"] == ratio
+
+    def test_scaled_span_tracks_footprint(self):
+        # The leaf-PTE span shrinks with the footprints (DESIGN.md §2).
+        default = scaled_params("default")
+        paper = scaled_params("paper")
+        assert paper.ptes_per_page // default.ptes_per_page == 4

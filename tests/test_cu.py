@@ -1,0 +1,121 @@
+"""Tests for the compute-unit model (closed-loop slot machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.driver.kernel_launch import launch_kernel
+from repro.sim.simulator import Simulator
+from repro.vm.address import MB
+from repro.workloads.base import AllocationSpec, KernelSpec, streaming
+
+
+def build_sim(trace_fn, num_ctas=1, compute_gap=3, design_name="private", **ov):
+    params = scaled_params("smoke", **ov)
+    kernel = KernelSpec(
+        name="cu-test",
+        lasp_class="NL",
+        allocations=[AllocationSpec("a", 1 * MB)],
+        num_ctas=num_ctas,
+        trace=trace_fn,
+        compute_gap=compute_gap,
+        cta_partition="blocked",
+    )
+    launch = launch_kernel(kernel, params, design(design_name))
+    return Simulator(launch, params), params
+
+
+class TestSlotExecution:
+    def test_instruction_accounting_includes_compute_gap(self):
+        def trace(cta, ctx):
+            return streaming(ctx.base("a"), 0, 10, 64)
+
+        sim, _ = build_sim(trace, compute_gap=7)
+        stats = sim.run()
+        assert stats.mem_accesses == 10
+        assert stats.instructions == 10 * 8
+
+    def test_single_slot_serializes_one_cta(self):
+        def trace(cta, ctx):
+            return streaming(ctx.base("a"), 0, 4, 64)
+
+        sim, _ = build_sim(trace, compute_gap=0, wavefront_slots_per_cu=1)
+        stats = sim.run()
+        # One access at a time: cycles at least sum of per-access latency
+        # (1 gap + 1 L1 TLB + 5 L1 cache minimum each).
+        assert stats.cycles >= 4 * 6
+
+    def test_multiple_ctas_on_one_cu_queue_behind_slots(self):
+        def trace(cta, ctx):
+            return streaming(ctx.base("a"), cta * 4096, 8, 64)
+
+        single, _ = build_sim(trace, num_ctas=1, wavefront_slots_per_cu=1)
+        # 4 CTAs, blocked partition on 4 chiplets -> 1 CTA per chiplet on
+        # CU 0 of each, still slot-limited to 1 each.
+        several, _ = build_sim(trace, num_ctas=8, wavefront_slots_per_cu=1)
+        a = single.run()
+        b = several.run()
+        assert b.mem_accesses == 8 * 8
+        assert b.cycles > a.cycles
+
+    def test_empty_cta_traces_are_skipped(self):
+        def trace(cta, ctx):
+            if cta == 0:
+                return streaming(ctx.base("a"), 0, 4, 64)
+            return np.empty(0, dtype=np.int64)
+
+        sim, _ = build_sim(trace, num_ctas=8)
+        stats = sim.run()
+        assert stats.mem_accesses == 4
+
+
+class TestL1TLBBehaviour:
+    def test_same_page_accesses_hit_l1(self):
+        def trace(cta, ctx):
+            return streaming(ctx.base("a"), 0, 64, 64)  # one page
+
+        sim, _ = build_sim(trace)
+        stats = sim.run()
+        assert stats.l1_tlb_misses == 1
+        assert stats.l1_tlb_hits == 63
+
+    def test_page_stride_misses_l1_every_time(self):
+        def trace(cta, ctx):
+            return streaming(ctx.base("a"), 0, 32, 4096)
+
+        sim, _ = build_sim(trace)
+        stats = sim.run()
+        assert stats.l1_tlb_misses == 32
+
+    def test_concurrent_same_vpn_misses_coalesce_at_cu(self):
+        # Two wavefront slots touching the same cold page must produce a
+        # single L2 request.
+        def trace(cta, ctx):
+            return streaming(ctx.base("a"), 0, 1, 64)
+
+        sim, params = build_sim(trace, num_ctas=4, wavefront_slots_per_cu=4)
+        stats = sim.run()
+        # Blocked partition: CTA i -> chiplet i, one CU each, 1 page each.
+        assert stats.l2_requests <= 4
+
+
+class TestDataPath:
+    def test_l1_cache_captures_line_reuse(self):
+        def trace(cta, ctx):
+            line = streaming(ctx.base("a"), 0, 1, 64)
+            return np.concatenate([line, line, line])
+
+        sim, _ = build_sim(trace)
+        stats = sim.run()
+        assert stats.l1_cache_hits == 2
+
+    def test_local_data_for_nl_blocked_kernel(self):
+        def trace(cta, ctx):
+            start = cta * (1 * MB // 4)
+            return streaming(ctx.base("a"), start, 16, 64)
+
+        sim, _ = build_sim(trace, num_ctas=4)
+        stats = sim.run()
+        # LASP NL: each CTA's tile is placed on its chiplet.
+        assert stats.data_accesses_remote == 0

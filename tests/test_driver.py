@@ -1,0 +1,221 @@
+"""Tests for the driver: allocator, LASP, CTA scheduling, PTE placement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hsl import DynamicHSL
+from repro.driver.allocator import (
+    check_alignment,
+    layout_allocations,
+    next_power_of_two,
+)
+from repro.driver.cta_scheduler import assign_ctas_to_chiplets, assign_ctas_to_cus
+from repro.driver.lasp import ITL_DEFAULT_BLOCK, analyze_kernel
+from repro.driver.pte_placement import place_page_table_pages
+from repro.mem.placement import DataPlacement, InterleavePolicy
+from repro.vm.address import KB, MB, PageGeometry
+from repro.vm.page_table import PageTable
+from repro.workloads.base import AllocationSpec, KernelSpec
+
+
+def make_kernel(lasp_class="NL", allocations=None, partition="blocked", group=1):
+    allocations = allocations or [AllocationSpec("a", 4 * MB)]
+    return KernelSpec(
+        name="test",
+        lasp_class=lasp_class,
+        allocations=allocations,
+        num_ctas=16,
+        trace=lambda cta, ctx: [],
+        cta_partition=partition,
+        cta_group=group,
+    )
+
+
+class TestNextPowerOfTwo:
+    def test_exact_powers_unchanged(self):
+        assert next_power_of_two(8) == 8
+
+    def test_rounds_up(self):
+        assert next_power_of_two(9) == 16
+        assert next_power_of_two(1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(1, 2**40))
+    def test_result_bounds(self, value):
+        result = next_power_of_two(value)
+        assert result >= value
+        assert result < 2 * value or value == result
+        assert result & (result - 1) == 0
+
+
+class TestLayout:
+    def test_largest_first(self):
+        allocs = [
+            AllocationSpec("small", 1 * MB),
+            AllocationSpec("big", 4 * MB),
+        ]
+        bases = layout_allocations(allocs)
+        assert bases["big"] < bases["small"]
+
+    def test_every_base_aligned_to_own_size(self):
+        allocs = [
+            AllocationSpec("a", 8 * MB),
+            AllocationSpec("b", 2 * MB),
+            AllocationSpec("c", 1 * MB),
+            AllocationSpec("d", 256 * KB),
+        ]
+        bases = layout_allocations(allocs)
+        assert check_alignment(bases, allocs) == []
+
+    def test_allocations_do_not_overlap(self):
+        allocs = [AllocationSpec(n, 1 * MB) for n in "abcd"]
+        bases = layout_allocations(allocs)
+        spans = sorted((bases[a.name], a.size) for a in allocs)
+        for (b1, s1), (b2, _s2) in zip(spans, spans[1:]):
+            assert b1 + s1 <= b2
+
+    def test_base_nonzero(self):
+        bases = layout_allocations([AllocationSpec("a", 1 * MB)])
+        assert bases["a"] > 0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            layout_allocations(
+                [AllocationSpec("a", MB), AllocationSpec("a", MB)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            layout_allocations([])
+
+    @given(
+        st.lists(
+            st.sampled_from([256 * KB, 512 * KB, MB, 2 * MB, 8 * MB]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40)
+    def test_alignment_invariant_holds_generally(self, sizes):
+        allocs = [
+            AllocationSpec("alloc%d" % i, size) for i, size in enumerate(sizes)
+        ]
+        bases = layout_allocations(allocs)
+        assert check_alignment(bases, allocs) == []
+
+
+class TestLasp:
+    def test_nl_partitions_contiguously(self):
+        kernel = make_kernel("NL", [AllocationSpec("a", 4 * MB)])
+        result = analyze_kernel(kernel, 4)
+        assert result.block_sizes["a"] == MB  # size / chiplets
+
+    def test_itl_uses_fine_interleave(self):
+        kernel = make_kernel("ITL", [AllocationSpec("a", 4 * MB)])
+        result = analyze_kernel(kernel, 4)
+        assert result.block_sizes["a"] == ITL_DEFAULT_BLOCK
+
+    def test_explicit_hint_wins(self):
+        kernel = make_kernel(
+            "RCL", [AllocationSpec("a", 4 * MB, lasp_block=32 * KB)]
+        )
+        assert analyze_kernel(kernel, 4).block_sizes["a"] == 32 * KB
+
+    def test_largest_allocation_identified(self):
+        kernel = make_kernel(
+            "NL",
+            [AllocationSpec("small", MB), AllocationSpec("big", 4 * MB)],
+        )
+        result = analyze_kernel(kernel, 4)
+        assert result.largest_allocation == "big"
+        assert result.lasp_block_size == MB  # 4MB / 4 chiplets
+
+    def test_unclassified_partitions_contiguously(self):
+        kernel = make_kernel("unclassified", [AllocationSpec("a", 8 * MB)])
+        assert analyze_kernel(kernel, 4).block_sizes["a"] == 2 * MB
+
+
+class TestCTAScheduler:
+    def test_blocked_partition(self):
+        kernel = make_kernel(partition="blocked")
+        chiplets = assign_ctas_to_chiplets(kernel, 4)
+        assert chiplets == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_striped_partition(self):
+        kernel = make_kernel(partition="striped", group=2)
+        chiplets = assign_ctas_to_chiplets(kernel, 4)
+        assert chiplets[:8] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_round_robin_policy_ignores_partition(self):
+        kernel = make_kernel(partition="blocked")
+        chiplets = assign_ctas_to_chiplets(kernel, 4, policy="round_robin")
+        assert chiplets[:8] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            assign_ctas_to_chiplets(make_kernel(), 4, policy="magic")
+
+    def test_cu_assignment_stays_on_chiplet(self):
+        chiplets = [0, 0, 1, 3, 3, 3]
+        cus = assign_ctas_to_cus(chiplets, 4, cus_per_chiplet=2)
+        for chiplet, cu in zip(chiplets, cus):
+            assert cu // 2 == chiplet
+
+    def test_cu_assignment_round_robins_within_chiplet(self):
+        cus = assign_ctas_to_cus([0, 0, 0, 0], 4, cus_per_chiplet=2)
+        assert cus == [0, 1, 0, 1]
+
+
+class TestPTEPlacement:
+    @pytest.fixture
+    def setup(self):
+        geo = PageGeometry(4 * KB, ptes_per_page=16)  # span = 64 KB
+        placement = DataPlacement(geo, 4)
+        placement.place_range(0, 256 * KB, InterleavePolicy(64 * KB, 4))
+        pt = PageTable(geo)
+        for vpn, home, ppn in placement.iter_pages():
+            pt.map_page(vpn, ppn, home)
+        return geo, placement, pt
+
+    def test_follow_data_tracks_first_page(self, setup):
+        geo, placement, pt = setup
+        place_page_table_pages(pt, geo, 4, "follow_data", data_placement=placement)
+        for node in pt.leaf_nodes():
+            first_vpn = geo.prefix_first_vpn(node.prefix, 1)
+            assert node.home == placement.home_of(first_vpn)
+
+    def test_round_robin_spreads(self, setup):
+        geo, _placement, pt = setup
+        place_page_table_pages(pt, geo, 4, "round_robin")
+        homes = [node.home for node in pt.iter_nodes()]
+        assert len(set(homes)) > 1
+
+    def test_hsl_guided_matches_coarse_home(self, setup):
+        geo, _placement, pt = setup
+        hsl = DynamicHSL(64 * KB, 4 * KB, 4)
+        place_page_table_pages(pt, geo, 4, "hsl", hsl=hsl)
+        for node in pt.leaf_nodes():
+            base_va = geo.prefix_first_vpn(node.prefix, 1) * geo.page_size
+            assert node.home == hsl.coarse_home(base_va)
+
+    def test_replicated_clears_homes(self, setup):
+        geo, _placement, pt = setup
+        place_page_table_pages(pt, geo, 4, "replicated")
+        assert all(node.home is None for node in pt.iter_nodes())
+
+    def test_every_node_placed(self, setup):
+        geo, placement, pt = setup
+        place_page_table_pages(pt, geo, 4, "follow_data", data_placement=placement)
+        assert all(node.home is not None for node in pt.iter_nodes())
+
+    def test_missing_dependencies_rejected(self, setup):
+        geo, _placement, pt = setup
+        with pytest.raises(ValueError):
+            place_page_table_pages(pt, geo, 4, "follow_data")
+        with pytest.raises(ValueError):
+            place_page_table_pages(pt, geo, 4, "hsl")
+        with pytest.raises(ValueError):
+            place_page_table_pages(pt, geo, 4, "nonsense")

@@ -1,0 +1,232 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.event_queue import Engine, EventQueue
+from repro.engine.resources import Timeline, TokenPool
+
+
+class TestEventQueue:
+    def test_starts_empty(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_push_pop_single(self):
+        q = EventQueue()
+        q.push(5.0, "cb")
+        assert len(q) == 1
+        assert q.peek_time() == 5.0
+        time, cb = q.pop()
+        assert time == 5.0 and cb == "cb"
+
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        for name in "abc":
+            q.push(1.0, name)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=50))
+    def test_pops_in_nondecreasing_time_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, None)
+        popped = [q.pop()[0] for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+
+class TestEngine:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_at_advances_clock(self):
+        e = Engine()
+        seen = []
+        e.at(10.0, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [10.0]
+        assert e.now == 10.0
+
+    def test_after_is_relative(self):
+        e = Engine()
+        order = []
+        e.at(5.0, lambda: e.after(3.0, lambda: order.append(e.now)))
+        e.run()
+        assert order == [8.0]
+
+    def test_rejects_scheduling_in_the_past(self):
+        e = Engine()
+        e.at(10.0, lambda: None)
+        e.run()
+        with pytest.raises(ValueError):
+            e.at(5.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Engine().after(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        e = Engine()
+        seen = []
+        e.at(1.0, lambda: seen.append(1))
+        e.at(10.0, lambda: seen.append(10))
+        e.run(until=5.0)
+        assert seen == [1]
+        e.run()
+        assert seen == [1, 10]
+
+    def test_run_max_events(self):
+        e = Engine()
+        seen = []
+        for i in range(5):
+            e.at(float(i), lambda i=i: seen.append(i))
+        executed = e.run(max_events=3)
+        assert executed == 3
+        assert seen == [0, 1, 2]
+
+    def test_events_executed_counter(self):
+        e = Engine()
+        for i in range(4):
+            e.at(float(i), lambda: None)
+        e.run()
+        assert e.events_executed == 4
+
+    def test_cascading_events_run_in_order(self):
+        e = Engine()
+        order = []
+
+        def cascade(depth):
+            order.append((e.now, depth))
+            if depth < 3:
+                e.after(1.0, lambda: cascade(depth + 1))
+
+        e.at(0.0, lambda: cascade(0))
+        e.run()
+        assert order == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_determinism(self):
+        def build_and_run():
+            e = Engine()
+            log = []
+            for i in range(10):
+                e.at(i % 3, lambda i=i: log.append(i))
+            e.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+
+class TestTimeline:
+    def test_free_resource_grants_immediately(self):
+        t = Timeline(1.0)
+        assert t.reserve(5.0) == 5.0
+
+    def test_busy_resource_queues(self):
+        t = Timeline(2.0)
+        assert t.reserve(0.0) == 0.0
+        assert t.reserve(0.0) == 2.0
+        assert t.reserve(0.0) == 4.0
+
+    def test_idle_gap_resets(self):
+        t = Timeline(1.0)
+        t.reserve(0.0)
+        assert t.reserve(100.0) == 100.0
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Timeline(0)
+
+    def test_wait_accounting(self):
+        t = Timeline(10.0)
+        t.reserve(0.0)
+        t.reserve(0.0)
+        assert t.total_reservations == 2
+        assert t.total_wait == 10.0
+
+    def test_reset(self):
+        t = Timeline(1.0)
+        t.reserve(0.0)
+        t.reset()
+        assert t.next_free == 0.0
+        assert t.total_reservations == 0
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=30))
+    def test_grants_never_overlap(self, arrivals):
+        t = Timeline(1.0)
+        grants = [t.reserve(a) for a in sorted(arrivals)]
+        for first, second in zip(grants, grants[1:]):
+            assert second >= first + 1.0
+
+
+class TestTokenPool:
+    def test_grants_up_to_capacity(self):
+        e = Engine()
+        pool = TokenPool(e, 2)
+        granted = []
+        for i in range(3):
+            pool.acquire(lambda i=i: granted.append(i))
+        e.run()
+        assert granted == [0, 1]
+        assert pool.queue_length == 1
+
+    def test_release_unblocks_fifo(self):
+        e = Engine()
+        pool = TokenPool(e, 1)
+        granted = []
+        for i in range(3):
+            pool.acquire(lambda i=i: granted.append(i))
+        e.run()
+        pool.release()
+        e.run()
+        pool.release()
+        e.run()
+        assert granted == [0, 1, 2]
+
+    def test_try_acquire(self):
+        e = Engine()
+        pool = TokenPool(e, 1)
+        assert pool.try_acquire()
+        assert not pool.try_acquire()
+        pool.release()
+        assert pool.try_acquire()
+
+    def test_over_release_raises(self):
+        pool = TokenPool(Engine(), 1)
+        with pytest.raises(RuntimeError):
+            pool.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TokenPool(Engine(), 0)
+
+    def test_in_use_tracking(self):
+        e = Engine()
+        pool = TokenPool(e, 3)
+        pool.acquire(lambda: None)
+        pool.acquire(lambda: None)
+        assert pool.in_use == 2
+        pool.release()
+        assert pool.in_use == 1
+
+    @given(st.integers(1, 8), st.integers(1, 40))
+    def test_all_waiters_eventually_granted(self, capacity, requests):
+        e = Engine()
+        pool = TokenPool(e, capacity)
+        granted = []
+
+        def work(i):
+            granted.append(i)
+            e.after(1.0, pool.release)
+
+        for i in range(requests):
+            pool.acquire(lambda i=i: work(i))
+        e.run()
+        assert granted == list(range(requests))

@@ -1,0 +1,56 @@
+"""The example scripts must run end-to-end (smoke scale)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "GUPS", "smoke")
+        assert result.returncode == 0, result.stderr
+        assert "mgvm" in result.stdout
+        assert "speedup" in result.stdout
+
+    def test_design_space(self):
+        result = run_example("design_space.py", "smoke", "GUPS")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 3" in result.stdout
+        assert "Figure 5" in result.stdout
+
+    def test_balance_switching(self):
+        result = run_example("balance_switching.py", "SYRK", "smoke")
+        assert result.returncode == 0, result.stderr
+        assert "dHSL-coarse granularity" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "HIST" in result.stdout
+
+    def test_multi_kernel_app(self):
+        result = run_example("multi_kernel_app.py", "smoke")
+        assert result.returncode == 0, result.stderr
+        assert "dHSL-coarse granularity" in result.stdout
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "design_space.py",
+                                  "balance_switching.py", "custom_workload.py",
+                                  "multi_kernel_app.py"])
+def test_examples_have_docstrings(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.lstrip().startswith(('#!', '"""'))
+    assert '"""' in text

@@ -1,0 +1,121 @@
+"""Tests for the experiment runner and figure regeneration."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure3,
+    figure7,
+    figure9,
+    table3,
+)
+from repro.experiments.runner import ExperimentRunner, RunRecord
+
+SMALL = ["GUPS", "J1D"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="smoke")
+
+
+class TestRunner:
+    def test_run_produces_record(self, runner):
+        record = runner.run("GUPS", "private")
+        assert isinstance(record, RunRecord)
+        assert record.throughput > 0
+        assert record.workload == "GUPS"
+
+    def test_memoization_returns_same_object(self, runner):
+        a = runner.run("GUPS", "private")
+        b = runner.run("GUPS", "private")
+        assert a is b
+
+    def test_overrides_distinguish_cache_entries(self, runner):
+        a = runner.run("GUPS", "private")
+        b = runner.run("GUPS", "private", overrides={"link_latency": 64.0})
+        assert a is not b
+
+    def test_run_matrix(self, runner):
+        grid = runner.run_matrix(SMALL, ["private", "shared"])
+        assert len(grid) == 4
+        assert grid[("GUPS", "shared")].design == "shared"
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = ExperimentRunner(scale="smoke", cache_path=path)
+        record = first.run("GUPS", "private")
+        second = ExperimentRunner(scale="smoke", cache_path=path)
+        loaded = second.run("GUPS", "private")
+        assert loaded.throughput == record.throughput
+
+    def test_record_serialization(self, runner):
+        record = runner.run("GUPS", "private")
+        assert RunRecord.from_dict(record.to_dict()) == record
+
+
+class TestFigures:
+    def test_figure3_normalized_to_private(self, runner):
+        result = figure3(runner, workloads=SMALL)
+        assert isinstance(result, FigureResult)
+        workload_rows = result.rows[:-1]
+        for row in workload_rows:
+            assert row[1] == 1.0  # private column
+        assert result.rows[-1][0] == "Gmean"
+
+    def test_figure7_has_four_designs(self, runner):
+        result = figure7(runner, workloads=SMALL)
+        assert result.headers == [
+            "workload",
+            "private",
+            "shared",
+            "mgvm-nobalance",
+            "mgvm",
+        ]
+
+    def test_table3_mpki_positive(self, runner):
+        result = table3(runner, workloads=SMALL)
+        for row in result.rows:
+            assert all(value >= 0 for value in row[1:])
+
+    def test_figure9_fractions_sum_to_one(self, runner):
+        result = figure9(runner, workloads=SMALL)
+        for row in result.rows:
+            assert row[2] + row[3] == pytest.approx(1.0)
+
+    def test_text_rendering(self, runner):
+        text = figure3(runner, workloads=SMALL).text()
+        assert "Figure 3" in text
+        assert "GUPS" in text
+
+    def test_every_figure_registered(self):
+        for name in (
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure7",
+            "table3",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+            "figure13",
+            "figure14",
+            "figure15",
+            "figure16",
+        ):
+            assert name in ALL_FIGURES
+
+    def test_figure14_uses_rr_designs(self, runner):
+        from repro.experiments.figures import figure14
+
+        result = figure14(runner, workloads=["GUPS"])
+        assert "mgvm-rr" in result.headers
+
+    def test_figure16_compares_remote_caching(self, runner):
+        from repro.experiments.figures import figure16
+
+        result = figure16(runner, workloads=["GUPS"])
+        assert result.rows[0][1] == 1.0

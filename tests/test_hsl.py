@@ -1,0 +1,105 @@
+"""Tests for the home-slice-selection functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hsl import DynamicHSL, InterleaveHSL, PrivateHSL, shared_default_hsl
+from repro.vm.address import KB, MB
+
+
+class TestPrivateHSL:
+    def test_home_is_requester(self):
+        hsl = PrivateHSL()
+        for chiplet in range(4):
+            assert hsl.home(0xDEADBEEF, chiplet) == chiplet
+
+    def test_not_dynamic(self):
+        assert not PrivateHSL().is_dynamic
+
+
+class TestInterleaveHSL:
+    def test_page_granularity_round_robin(self):
+        hsl = InterleaveHSL(4 * KB, 4)
+        homes = [hsl.home(i * 4 * KB) for i in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_within_granule_constant(self):
+        hsl = InterleaveHSL(2 * MB, 4)
+        assert hsl.home(0) == hsl.home(2 * MB - 1)
+        assert hsl.home(2 * MB) == 1
+
+    def test_independent_of_requester(self):
+        hsl = InterleaveHSL(4 * KB, 4)
+        assert hsl.home(0x5000, 0) == hsl.home(0x5000, 3)
+
+    def test_shared_default_is_page_interleave(self):
+        hsl = shared_default_hsl(4, 4 * KB)
+        assert isinstance(hsl, InterleaveHSL)
+        assert hsl.granularity == 4 * KB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterleaveHSL(0, 4)
+        with pytest.raises(ValueError):
+            InterleaveHSL(4096, 0)
+
+    @given(st.integers(0, 2**48), st.integers(1, 8))
+    def test_home_always_in_range(self, va, chiplets):
+        hsl = InterleaveHSL(4 * KB, chiplets)
+        assert 0 <= hsl.home(va) < chiplets
+
+
+class TestDynamicHSL:
+    @pytest.fixture
+    def hsl(self):
+        return DynamicHSL(2 * MB, 4 * KB, 4)
+
+    def test_starts_coarse_everywhere(self, hsl):
+        assert hsl.commanded == "coarse"
+        for component in hsl.components():
+            assert hsl.mode_of(component) == "coarse"
+
+    def test_coarse_home_uses_coarse_granularity(self, hsl):
+        assert hsl.coarse_home(0) == 0
+        assert hsl.coarse_home(2 * MB) == 1
+        assert hsl.coarse_home(9 * MB) == 0  # 4th granule wraps
+
+    def test_component_views_independent(self, hsl):
+        hsl.apply((0, "cu"), "fine")
+        va = 5 * 4 * KB  # granule 5 fine, granule 0 coarse
+        assert hsl.home(va, 0, component=(0, "cu")) == 1  # fine: page 5 % 4
+        assert hsl.home(va, 0, component=(1, "cu")) == 0  # coarse: first 2MB
+
+    def test_command_idempotent(self, hsl):
+        assert hsl.command("fine")
+        assert not hsl.command("fine")
+        assert hsl.switches_to_fine == 1
+
+    def test_command_validation(self, hsl):
+        with pytest.raises(ValueError):
+            hsl.command("sideways")
+
+    def test_switch_back_counts(self, hsl):
+        hsl.command("fine")
+        hsl.command("coarse")
+        assert hsl.switches_to_coarse == 1
+
+    def test_components_cover_all_roles(self, hsl):
+        components = hsl.components()
+        assert len(components) == 4 * len(DynamicHSL.ROLES)
+
+    def test_coarse_must_dominate_fine(self):
+        with pytest.raises(ValueError):
+            DynamicHSL(4 * KB, 2 * MB, 4)
+
+    def test_commanded_view_follows_command(self, hsl):
+        va = 5 * 4 * KB
+        assert hsl.home(va) == 0
+        hsl.command("fine")
+        assert hsl.home(va) == 1
+
+    @given(st.integers(0, 2**44))
+    def test_coarse_home_matches_interleave(self, va):
+        hsl = DynamicHSL(2 * MB, 4 * KB, 4)
+        reference = InterleaveHSL(2 * MB, 4)
+        assert hsl.coarse_home(va) == reference.home(va)

@@ -1,0 +1,55 @@
+"""Tests for the chiplet interconnect."""
+
+from repro.arch.interconnect import Interconnect
+
+
+class TestLatency:
+    def test_local_is_free(self):
+        ic = Interconnect(4, link_latency=32.0)
+        assert ic.traverse(1, 1, 100.0) == 100.0
+
+    def test_remote_adds_one_hop(self):
+        ic = Interconnect(4, link_latency=32.0)
+        assert ic.traverse(0, 2, 100.0) == 132.0
+
+    def test_round_trip(self):
+        ic = Interconnect(4, link_latency=32.0)
+        assert ic.round_trip(0, 0) == 0.0
+        assert ic.round_trip(0, 3) == 64.0
+
+    def test_all_pairs_equal_latency(self):
+        # The paper models any-to-any links at the same latency.
+        ic = Interconnect(4, link_latency=32.0)
+        times = {
+            ic.traverse(src, dst, 0.0)
+            for src in range(4)
+            for dst in range(4)
+            if src != dst
+        }
+        assert times == {32.0}
+
+
+class TestAccounting:
+    def test_crossings_counted_per_kind(self):
+        ic = Interconnect(4, link_latency=32.0)
+        ic.traverse(0, 1, 0.0, kind="translation")
+        ic.traverse(0, 1, 0.0, kind="data")
+        ic.traverse(0, 0, 0.0, kind="data")  # local: not a crossing
+        assert ic.crossings["translation"] == 1
+        assert ic.crossings["data"] == 1
+        assert ic.total_crossings() == 2
+
+
+class TestBandwidthMode:
+    def test_issue_interval_serializes(self):
+        ic = Interconnect(2, link_latency=10.0, issue_interval=5.0)
+        first = ic.traverse(0, 1, 0.0)
+        second = ic.traverse(0, 1, 0.0)
+        assert first == 10.0
+        assert second == 15.0
+
+    def test_links_are_directional_pairs(self):
+        ic = Interconnect(2, link_latency=10.0, issue_interval=5.0)
+        ic.traverse(0, 1, 0.0)
+        # The reverse direction is a separate link: no contention.
+        assert ic.traverse(1, 0, 0.0) == 10.0

@@ -1,0 +1,114 @@
+"""Tests for launch-time orchestration invariants."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.core.hsl import DynamicHSL, InterleaveHSL, PrivateHSL
+from repro.driver.kernel_launch import launch_kernel
+from repro.workloads.registry import WORKLOAD_NAMES, build_kernel
+
+
+@pytest.fixture(scope="module")
+def params():
+    return scaled_params("smoke")
+
+
+def launch(params, workload="GUPS", design_name="mgvm"):
+    kernel = build_kernel(workload, scale="smoke")
+    return launch_kernel(kernel, params, design(design_name))
+
+
+class TestHSLSelection:
+    def test_private_design_gets_private_hsl(self, params):
+        assert isinstance(launch(params, design_name="private").hsl, PrivateHSL)
+
+    def test_shared_design_gets_page_interleave(self, params):
+        hsl = launch(params, design_name="shared").hsl
+        assert isinstance(hsl, InterleaveHSL)
+        assert hsl.granularity == params.page_size
+
+    def test_mgvm_gets_dynamic_hsl(self, params):
+        result = launch(params, design_name="mgvm")
+        assert isinstance(result.hsl, DynamicHSL)
+        assert result.mgvm_plan is not None
+        span = result.geometry.pte_page_span
+        assert result.hsl.coarse_granularity % span == 0
+
+
+class TestPlacementInvariants:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_every_trace_va_is_mapped(self, params, workload):
+        result = launch(params, workload, "mgvm")
+        ctx = result.trace_context()
+        geometry = result.geometry
+        for cta in (0, result.kernel.num_ctas - 1):
+            for va in np.asarray(result.kernel.trace(cta, ctx)):
+                vpn = geometry.vpn(int(va))
+                assert result.page_table.is_mapped(vpn)
+                assert result.placement.is_placed(vpn)
+
+    def test_all_pt_nodes_have_homes(self, params):
+        result = launch(params, design_name="mgvm")
+        for node in result.page_table.iter_nodes():
+            assert node.home is not None
+            assert 0 <= node.home < params.num_chiplets
+
+    def test_replicated_pt_nodes_have_no_home(self, params):
+        result = launch(params, design_name="private-ptr")
+        for node in result.page_table.iter_nodes():
+            assert node.home is None
+
+    def test_mgvm_leaf_nodes_on_hsl_home(self, params):
+        result = launch(params, design_name="mgvm")
+        geometry = result.geometry
+        for node in result.page_table.leaf_nodes():
+            base_va = geometry.prefix_first_vpn(node.prefix, 1) * geometry.page_size
+            assert node.home == result.hsl.coarse_home(base_va)
+
+    def test_translation_agrees_with_placement(self, params):
+        result = launch(params)
+        for vpn, home, ppn in result.placement.iter_pages():
+            assert result.page_table.translate(vpn) == (ppn, home)
+
+
+class TestHSLDataAgreement:
+    def test_mgvm_largest_alloc_local_lookup_for_local_data(self, params):
+        """The paper's central launch-time guarantee: when LASP's block
+        for the largest allocation is already a multiple of the leaf span,
+        a local data access implies a local L2 TLB lookup."""
+        kernel = build_kernel("J1D", scale="smoke")
+        result = launch_kernel(kernel, params, design("mgvm"))
+        lasp_block = result.lasp.lasp_block_size
+        if lasp_block % result.geometry.pte_page_span != 0:
+            pytest.skip("rounded granularity: guarantee is best-effort")
+        largest = kernel.largest_allocation
+        base = result.bases[largest.name]
+        geometry = result.geometry
+        for offset in range(0, largest.size, geometry.page_size * 7):
+            va = base + offset
+            data_home = result.placement.home_of(geometry.vpn(va))
+            hsl_home = result.hsl.coarse_home(va)
+            assert data_home == hsl_home
+
+    def test_cta_count_matches_assignments(self, params):
+        result = launch(params)
+        assert len(result.cta_chiplets) == result.kernel.num_ctas
+        assert len(result.cta_cus) == result.kernel.num_ctas
+
+    def test_cta_cus_within_chiplet(self, params):
+        result = launch(params)
+        for chiplet, cu in zip(result.cta_chiplets, result.cta_cus):
+            assert cu // params.cus_per_chiplet == chiplet
+
+
+class TestDesignMatrixLaunches:
+    @pytest.mark.parametrize("design_name", [
+        "private", "shared", "mgvm", "mgvm-nobalance", "mgvm-rr",
+        "private-rr", "shared-rr", "private-ptr", "shared-ptr",
+        "remote-caching", "private-naive-pte",
+    ])
+    def test_every_design_launches(self, params, design_name):
+        result = launch(params, "GUPS", design_name)
+        assert result.page_table.num_translations > 0

@@ -1,0 +1,188 @@
+"""Tests for the memory side: caches, DRAM, memory system, placement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMTiming
+from repro.mem.memory_system import MemorySystem
+from repro.mem.placement import DataPlacement, InterleavePolicy
+from repro.vm.address import KB, MB, PageGeometry
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = Cache(1024, assoc=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_aliases(self):
+        c = Cache(1024, assoc=2)
+        c.access(0)
+        assert c.access(63)
+        assert not c.access(64)
+
+    def test_lru_within_set(self):
+        c = Cache(128, assoc=2)  # 2 lines, 1 set
+        c.access(0)
+        c.access(64)
+        c.access(0)  # refresh
+        c.access(128)  # evicts 64
+        assert c.access(0)
+        assert not c.access(64)
+
+    def test_probe_no_side_effects(self):
+        c = Cache(1024, assoc=2)
+        assert not c.probe(0)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_flush(self):
+        c = Cache(1024, assoc=2)
+        c.access(0)
+        c.flush()
+        assert not c.probe(0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(32, assoc=1)
+        with pytest.raises(ValueError):
+            Cache(1024, assoc=5)
+
+    @given(st.lists(st.integers(0, 2**34), min_size=1, max_size=300))
+    @settings(max_examples=25)
+    def test_occupancy_bounded(self, addrs):
+        c = Cache(4096, assoc=4)
+        for addr in addrs:
+            c.access(addr)
+        assert c.occupancy() <= 4096 // 64
+
+
+class TestDRAM:
+    def test_fixed_latency(self):
+        d = DRAMTiming(latency=100.0, channels=2)
+        assert d.access_done_at(0, 10.0) == 110.0
+
+    def test_channel_contention(self):
+        d = DRAMTiming(latency=100.0, channels=1, issue_interval=2.0)
+        first = d.access_done_at(0, 0.0)
+        second = d.access_done_at(64, 0.0)
+        assert second == first + 2.0
+
+    def test_different_channels_no_contention(self):
+        d = DRAMTiming(latency=100.0, channels=2, issue_interval=10.0)
+        assert d.access_done_at(0, 0.0) == 100.0
+        assert d.access_done_at(64, 0.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(latency=-1)
+        with pytest.raises(ValueError):
+            DRAMTiming(channels=0)
+
+
+class TestMemorySystem:
+    @pytest.fixture
+    def ms(self):
+        return MemorySystem(4, link_latency=32.0, l2_size=64 * KB)
+
+    def test_local_miss_costs_l2_plus_dram(self, ms):
+        done, remote = ms.access(0, 0, 0x1000, 0.0)
+        assert not remote
+        assert done == pytest.approx(12.0 + 100.0)
+
+    def test_local_hit_costs_l2_only(self, ms):
+        ms.access(0, 0, 0x1000, 0.0)
+        done, _ = ms.access(0, 0, 0x1000, 1000.0)
+        assert done == pytest.approx(1012.0)
+
+    def test_remote_adds_two_crossings(self, ms):
+        done_local, _ = ms.access(0, 0, 0x1000, 0.0)
+        done_remote, remote = ms.access(0, 1, 0x1000, 0.0)
+        assert remote
+        assert done_remote == pytest.approx(done_local + 64.0)
+
+    def test_caches_are_per_chiplet(self, ms):
+        ms.access(0, 0, 0x1000, 0.0)
+        # Same line on another chiplet's memory: separate cache, miss.
+        done, _ = ms.access(1, 1, 0x1000, 0.0)
+        assert done == pytest.approx(112.0)
+
+    def test_kind_statistics(self, ms):
+        ms.access(0, 0, 0x0, 0.0, kind="pte")
+        ms.access(0, 2, 0x40, 0.0, kind="pte")
+        ms.access(0, 1, 0x80, 0.0, kind="data")
+        assert ms.stats.local["pte"] == 1
+        assert ms.stats.remote["pte"] == 1
+        assert ms.stats.remote["data"] == 1
+        assert ms.stats.remote_fraction("pte") == 0.5
+
+    def test_latency_preview(self, ms):
+        assert ms.latency_preview(0, 0, cached=True) == 12.0
+        assert ms.latency_preview(0, 1, cached=False) == 12.0 + 100.0 + 64.0
+
+
+class TestInterleavePolicy:
+    def test_block_interleave(self):
+        p = InterleavePolicy(1024, 4)
+        assert [p.home(i * 1024) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_within_block_constant(self):
+        p = InterleavePolicy(4096, 4)
+        assert p.home(0) == p.home(4095)
+
+    def test_contiguous_partition_via_large_block(self):
+        # A block of size/num_chiplets implements LASP's NL partition.
+        size, chiplets = 16 * MB, 4
+        p = InterleavePolicy(size // chiplets, chiplets)
+        homes = [p.home(i * MB) for i in range(16)]
+        assert homes == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterleavePolicy(0, 4)
+        with pytest.raises(ValueError):
+            InterleavePolicy(4096, 0)
+
+
+class TestDataPlacement:
+    @pytest.fixture
+    def placement(self):
+        return DataPlacement(PageGeometry(4 * KB), 4)
+
+    def test_place_range_covers_all_pages(self, placement):
+        policy = InterleavePolicy(4096, 4)
+        placement.place_range(0, 64 * KB, policy)
+        assert placement.num_pages == 16
+        for vpn in range(16):
+            assert placement.home_of(vpn) == vpn % 4
+
+    def test_ppns_unique(self, placement):
+        placement.place_range(0, 64 * KB, InterleavePolicy(4096, 4))
+        ppns = [placement.ppn_of(vpn) for vpn in range(16)]
+        assert len(set(ppns)) == 16
+
+    def test_ppn_encodes_chiplet_disjointly(self, placement):
+        placement.place_page(0, 1)
+        placement.place_page(1, 2)
+        assert placement.ppn_of(0) >> 44 == 1
+        assert placement.ppn_of(1) >> 44 == 2
+
+    def test_idempotent_placement(self, placement):
+        first = placement.place_page(5, 1)
+        second = placement.place_page(5, 3)
+        assert first == second
+        assert placement.home_of(5) == 1
+
+    def test_pages_on(self, placement):
+        placement.place_range(0, 64 * KB, InterleavePolicy(4096, 4))
+        assert placement.pages_on(0) == 4
+
+    def test_chiplet_range_checked(self, placement):
+        with pytest.raises(ValueError):
+            placement.place_page(0, 9)
+
+    def test_unaligned_range_still_covers_tail(self, placement):
+        placement.place_range(100, 4096, InterleavePolicy(4096, 4))
+        # Crosses a page boundary: pages 0 and 1 both placed.
+        assert placement.is_placed(0) and placement.is_placed(1)

@@ -1,0 +1,96 @@
+"""Tests for MGvm's launch-time algorithm (Listing 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mgvm import (
+    choose_dhsl_granularity,
+    closest_multiple,
+    plan_kernel_launch,
+)
+from repro.vm.address import KB, MB, PageGeometry
+
+
+class TestClosestMultiple:
+    def test_exact_multiple_unchanged(self):
+        assert closest_multiple(4 * MB, 2 * MB) == 4 * MB
+
+    def test_rounds_to_nearest(self):
+        assert closest_multiple(3 * MB, 2 * MB) == 4 * MB  # tie rounds up
+        assert closest_multiple(2 * MB + 1, 2 * MB) == 2 * MB
+        assert closest_multiple(5 * MB - 1, 2 * MB) == 4 * MB
+        assert closest_multiple(5 * MB + 1, 2 * MB) == 6 * MB
+
+    def test_small_values_round_up_to_base(self):
+        assert closest_multiple(4 * KB, 2 * MB) == 2 * MB
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            closest_multiple(10, 0)
+
+    @given(st.integers(1, 2**40), st.integers(1, 2**24))
+    def test_result_is_positive_multiple(self, value, base):
+        result = closest_multiple(value, base)
+        assert result >= base
+        assert result % base == 0
+
+
+class TestGranularityChoice:
+    def test_multiple_of_span_kept(self):
+        # Listing 1, lines 4-5.
+        assert choose_dhsl_granularity(8 * MB, 2 * MB) == 8 * MB
+
+    def test_non_multiple_rounded(self):
+        # Listing 1, lines 6-7.
+        assert choose_dhsl_granularity(3 * MB, 2 * MB) == 4 * MB
+
+    def test_tiny_block_becomes_one_span(self):
+        assert choose_dhsl_granularity(32 * KB, 2 * MB) == 2 * MB
+
+    def test_no_lasp_falls_back_to_span(self):
+        # MGvm-RR: static analysis unavailable.
+        assert choose_dhsl_granularity(None, 2 * MB) == 2 * MB
+
+
+class TestLaunchPlan:
+    @pytest.fixture
+    def geo(self):
+        return PageGeometry(4 * KB)
+
+    def test_hsl_granularity_set(self, geo):
+        plan = plan_kernel_launch(geo, 4, 8 * MB, [(16 * MB, 16 * MB)])
+        assert plan.granularity == 8 * MB
+        assert plan.hsl.coarse_granularity == 8 * MB
+        assert plan.hsl.fine_granularity == geo.page_size
+
+    def test_every_region_gets_a_home(self, geo):
+        base, size = 16 * MB, 8 * MB
+        plan = plan_kernel_launch(geo, 4, 2 * MB, [(base, size)])
+        span = geo.pte_page_span
+        expected_regions = {base + i * span for i in range(size // span)}
+        assert set(plan.pte_region_homes) == expected_regions
+
+    def test_homes_follow_hsl(self, geo):
+        plan = plan_kernel_launch(geo, 4, 2 * MB, [(16 * MB, 8 * MB)])
+        for region_base, home in plan.pte_region_homes.items():
+            assert home == plan.hsl.coarse_home(region_base)
+
+    def test_region_covering_allocation_tail(self, geo):
+        # A 1-byte allocation crossing nothing still claims its region.
+        plan = plan_kernel_launch(geo, 4, 2 * MB, [(2 * MB, 1)])
+        assert plan.pte_region_homes == {2 * MB: 1}
+
+    def test_unaligned_allocation_spans_two_regions(self, geo):
+        plan = plan_kernel_launch(geo, 4, 2 * MB, [(3 * MB, 2 * MB)])
+        assert set(plan.pte_region_homes) == {2 * MB, 4 * MB}
+
+    def test_rejects_empty_allocation(self, geo):
+        with pytest.raises(ValueError):
+            plan_kernel_launch(geo, 4, 2 * MB, [(0, 0)])
+
+    def test_scaled_geometry_scales_regions(self):
+        geo = PageGeometry(4 * KB, ptes_per_page=128)
+        plan = plan_kernel_launch(geo, 4, None, [(2 * MB, 2 * MB)])
+        # 2MB / 512KB span = 4 regions, one per chiplet.
+        assert len(plan.pte_region_homes) == 4
+        assert sorted(plan.pte_region_homes.values()) == [0, 1, 2, 3]

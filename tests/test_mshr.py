@@ -1,0 +1,86 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.vm.mshr import MSHRFile
+
+
+class TestAllocateMerge:
+    def test_allocate_tracks_miss(self):
+        m = MSHRFile(4)
+        assert m.allocate(1, "req-a")
+        assert 1 in m
+        assert len(m) == 1
+
+    def test_merge_attaches_waiter(self):
+        m = MSHRFile(4)
+        m.allocate(1, "a")
+        assert m.merge(1, "b")
+        assert m.complete(1) == ["a", "b"]
+
+    def test_merge_without_entry_returns_false(self):
+        m = MSHRFile(4)
+        assert not m.merge(5, "x")
+
+    def test_double_allocate_raises(self):
+        m = MSHRFile(4)
+        m.allocate(1, "a")
+        with pytest.raises(ValueError):
+            m.allocate(1, "b")
+
+    def test_allocate_when_full_fails_without_change(self):
+        m = MSHRFile(1)
+        assert m.allocate(1, "a")
+        assert not m.allocate(2, "b")
+        assert 2 not in m
+        assert m.stall_events == 1
+
+    def test_complete_frees_entry(self):
+        m = MSHRFile(1)
+        m.allocate(1, "a")
+        m.complete(1)
+        assert m.allocate(2, "b")
+
+    def test_complete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MSHRFile(2).complete(9)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestCounters:
+    def test_merge_and_allocation_counters(self):
+        m = MSHRFile(4)
+        m.allocate(1, "a")
+        m.merge(1, "b")
+        m.merge(1, "c")
+        assert m.allocations == 1
+        assert m.merges == 2
+
+    def test_peak_occupancy(self):
+        m = MSHRFile(4)
+        m.allocate(1, "a")
+        m.allocate(2, "b")
+        m.complete(1)
+        m.allocate(3, "c")
+        assert m.peak_occupancy == 2
+
+
+class TestOverflowQueue:
+    def test_park_unpark_fifo(self):
+        m = MSHRFile(1)
+        m.park("x")
+        m.park("y")
+        assert m.parked == 2
+        assert m.unpark() == "x"
+        assert m.unpark() == "y"
+        assert m.unpark() is None
+
+    def test_full_property(self):
+        m = MSHRFile(2)
+        assert not m.full
+        m.allocate(1, "a")
+        m.allocate(2, "b")
+        assert m.full

@@ -1,0 +1,119 @@
+"""Tests for the radix page table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.address import KB, PageGeometry
+from repro.vm.page_table import PageFault, PageTable
+
+
+@pytest.fixture
+def geo():
+    return PageGeometry(4 * KB)
+
+
+@pytest.fixture
+def pt(geo):
+    return PageTable(geo)
+
+
+class TestMapping:
+    def test_translate_unmapped_faults(self, pt):
+        with pytest.raises(PageFault):
+            pt.translate(42)
+
+    def test_map_then_translate(self, pt):
+        pt.map_page(42, ppn=0xBEEF, data_home=2)
+        assert pt.translate(42) == (0xBEEF, 2)
+        assert pt.is_mapped(42)
+
+    def test_mapping_creates_four_levels(self, pt):
+        pt.map_page(42, 1, 0)
+        assert pt.num_nodes == 4
+        levels = sorted(node.level for node in pt.iter_nodes())
+        assert levels == [1, 2, 3, 4]
+
+    def test_neighbouring_pages_share_all_nodes(self, pt):
+        pt.map_page(0, 1, 0)
+        pt.map_page(1, 2, 0)
+        assert pt.num_nodes == 4
+        assert pt.num_translations == 2
+
+    def test_distant_pages_share_only_upper_nodes(self, pt, geo):
+        pt.map_page(0, 1, 0)
+        pt.map_page(geo.prefix_span_pages(1), 2, 0)  # next 2MB region
+        # Shared: levels 4, 3, 2.  Distinct: two leaf nodes.
+        assert pt.num_nodes == 5
+
+    def test_walk_path_root_to_leaf(self, pt):
+        pt.map_page(42, 1, 0)
+        path = pt.walk_path(42)
+        assert [node.level for node in path] == [4, 3, 2, 1]
+
+    def test_node_for_levels(self, pt, geo):
+        pt.map_page(42, 1, 0)
+        for level in range(1, 5):
+            node = pt.node_for(42, level)
+            assert node is not None
+            assert node.prefix == geo.node_prefix(42, level)
+
+    def test_node_for_unmapped_returns_none(self, pt):
+        assert pt.node_for(42, 1) is None
+
+
+class TestNodePlacement:
+    def test_homes_default_unset(self, pt):
+        pt.map_page(42, 1, 0)
+        assert all(node.home is None for node in pt.iter_nodes())
+
+    def test_set_node_home(self, pt, geo):
+        pt.map_page(42, 1, 0)
+        prefix = geo.node_prefix(42, 1)
+        pt.set_node_home(1, prefix, 3)
+        assert pt.node_for(42, 1).home == 3
+
+    def test_leaf_nodes_iterator(self, pt, geo):
+        pt.map_page(0, 1, 0)
+        pt.map_page(geo.prefix_span_pages(1), 2, 0)
+        assert len(list(pt.leaf_nodes())) == 2
+
+
+class TestPTEAddresses:
+    def test_distinct_nodes_get_distinct_pages(self, pt, geo):
+        pt.map_page(0, 1, 0)
+        pas = [node.pa for node in pt.iter_nodes()]
+        assert len(set(pas)) == len(pas)
+
+    def test_pte_line_address_within_node_page(self, pt, geo):
+        pt.map_page(42, 1, 0)
+        node = pt.node_for(42, 1)
+        line = pt.pte_line_address(node, 42)
+        assert node.pa <= line < node.pa + geo.ptes_per_page * 8
+
+    def test_adjacent_vpns_often_share_pte_line(self, pt):
+        # 8 PTEs (64B line / 8B PTE) per line.
+        pt.map_page(0, 1, 0)
+        pt.map_page(1, 2, 0)
+        node = pt.node_for(0, 1)
+        assert pt.pte_line_address(node, 0) == pt.pte_line_address(node, 1)
+        pt.map_page(8, 3, 0)
+        assert pt.pte_line_address(node, 0) != pt.pte_line_address(node, 8)
+
+    def test_pt_addresses_disjoint_from_data(self, pt):
+        pt.map_page(42, 1, 0)
+        for node in pt.iter_nodes():
+            assert node.pa >= (1 << 52)
+
+
+class TestBulk:
+    @given(st.sets(st.integers(0, 2**30), min_size=1, max_size=100))
+    @settings(max_examples=25)
+    def test_all_mapped_vpns_translate(self, vpns):
+        pt = PageTable(PageGeometry(4 * KB))
+        for i, vpn in enumerate(sorted(vpns)):
+            pt.map_page(vpn, i, i % 4)
+        for i, vpn in enumerate(sorted(vpns)):
+            assert pt.translate(vpn) == (i, i % 4)
+        # Each mapped VPN has a complete walk path.
+        for vpn in vpns:
+            assert len(pt.walk_path(vpn)) == 4

@@ -1,0 +1,100 @@
+"""Executable paper-shape checks (slow; default-scale simulations).
+
+These pin the qualitative claims EXPERIMENTS.md reports.  They simulate
+at the ``default`` scale, which takes minutes, so they only run when
+``REPRO_SLOW=1`` is set:
+
+    REPRO_SLOW=1 pytest tests/test_paper_shape.py
+
+A fast, always-on subset covers the three workloads whose behaviour the
+paper leans on hardest.
+"""
+
+import os
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.sim.simulator import simulate
+from repro.workloads.registry import WORKLOAD_NAMES, build_kernel
+
+SLOW = os.environ.get("REPRO_SLOW") == "1"
+
+_CACHE = {}
+
+
+def run_default(workload, design_name):
+    key = (workload, design_name)
+    if key not in _CACHE:
+        params = scaled_params("default")
+        kernel = build_kernel(workload, scale="default")
+        _CACHE[key] = simulate(kernel, params, design(design_name))
+    return _CACHE[key]
+
+
+class TestFastShape:
+    """Always-on: the paper's three load-bearing behaviours."""
+
+    def test_gups_aggregate_capacity(self):
+        # Table III: the shared TLB roughly halves GUPS's MPKI.
+        private = run_default("GUPS", "private")
+        shared = run_default("GUPS", "shared")
+        assert shared.mpki < 0.7 * private.mpki
+
+    def test_gups_mgvm_beats_both(self):
+        # Figure 7: GUPS gains from capacity AND local walks under MGvm.
+        private = run_default("GUPS", "private")
+        shared = run_default("GUPS", "shared")
+        mgvm = run_default("GUPS", "mgvm")
+        assert mgvm.throughput > shared.throughput > private.throughput
+        assert mgvm.pw_remote_fraction < 0.1
+
+    def test_j1d_shared_penalty_and_mgvm_parity(self):
+        # Figure 3/7: an NL streaming kernel loses under shared but MGvm
+        # matches private exactly (local lookups, local walks).
+        private = run_default("J1D", "private")
+        shared = run_default("J1D", "shared")
+        mgvm = run_default("J1D", "mgvm")
+        assert shared.throughput < 0.9 * private.throughput
+        assert mgvm.throughput >= 0.99 * private.throughput
+        assert mgvm.local_hit_fraction > 0.9 or mgvm.l2_hit_rate < 0.05
+
+    def test_syr2_needs_balance(self):
+        # Figure 7: SYR2's gap between MGvm-no-balance and MGvm is the
+        # dHSL-balance payoff; the switch must actually fire.
+        frozen = run_default("SYR2", "mgvm-nobalance")
+        balanced = run_default("SYR2", "mgvm")
+        assert balanced.balance_switches
+        assert balanced.throughput > 1.2 * frozen.throughput
+
+
+@pytest.mark.skipif(not SLOW, reason="set REPRO_SLOW=1 for full-shape checks")
+class TestFullShape:
+    def test_headline_gmean(self):
+        from repro.stats.report import geomean
+
+        ratios = []
+        for workload in WORKLOAD_NAMES:
+            private = run_default(workload, "private")
+            mgvm = run_default(workload, "mgvm")
+            ratios.append(mgvm.throughput / private.throughput)
+        # Paper: +52%.  Accept anything in the 30-80% band.
+        assert 1.3 < geomean(ratios) < 1.8
+
+    def test_only_the_papers_trio_switches(self):
+        switching = {
+            workload
+            for workload in WORKLOAD_NAMES
+            if run_default(workload, "mgvm").balance_switches
+        }
+        assert switching == {"MIS", "SYRK", "SYR2"}
+
+    def test_mgvm_most_local_walks_except_balance_victims(self):
+        worse = []
+        for workload in WORKLOAD_NAMES:
+            shared = run_default(workload, "shared")
+            mgvm = run_default(workload, "mgvm")
+            if mgvm.pw_remote_fraction > shared.pw_remote_fraction + 0.05:
+                worse.append(workload)
+        assert set(worse) <= {"MIS", "SYRK", "SYR2"}

@@ -1,0 +1,118 @@
+"""End-to-end property tests: random tiny kernels through the full stack.
+
+Hypothesis generates small kernels (random allocation sizes, access
+patterns, CTA counts) and checks that the conservation invariants hold
+under every design point: all accesses complete, counters partition, and
+latency accounting stays self-consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.params import scaled_params
+from repro.core.config import DESIGNS, design
+from repro.driver.kernel_launch import launch_kernel
+from repro.sim.simulator import Simulator
+from repro.vm.address import KB
+from repro.workloads.base import AllocationSpec, KernelSpec
+
+SIZES = [256 * KB, 512 * KB, 1024 * KB]
+
+
+@st.composite
+def tiny_kernels(draw):
+    num_allocs = draw(st.integers(1, 3))
+    allocations = [
+        AllocationSpec("alloc%d" % i, draw(st.sampled_from(SIZES)))
+        for i in range(num_allocs)
+    ]
+    num_ctas = draw(st.integers(1, 12))
+    accesses = draw(st.integers(1, 24))
+    pattern = draw(st.sampled_from(["stream", "stride", "random"]))
+    lasp_class = draw(st.sampled_from(["NL", "RCL", "ITL", "unclassified"]))
+    gap = draw(st.integers(0, 5))
+    seed = draw(st.integers(0, 2**16))
+
+    def trace(cta_id, ctx):
+        rng = np.random.default_rng(seed * 4099 + cta_id)
+        name = ctx.bases and sorted(ctx.bases)[cta_id % len(ctx.bases)]
+        base, size = ctx.base(name), ctx.size(name)
+        if pattern == "stream":
+            start = (cta_id * 4096) % (size // 2)
+            return base + start + np.arange(accesses, dtype=np.int64) * 64
+        if pattern == "stride":
+            return base + (np.arange(accesses, dtype=np.int64) * 4096) % size
+        offsets = rng.integers(0, size // 64, accesses, dtype=np.int64)
+        return base + offsets * 64
+
+    return KernelSpec(
+        name="prop",
+        lasp_class=lasp_class,
+        allocations=allocations,
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=gap,
+        cta_partition="blocked",
+    )
+
+
+@pytest.fixture(scope="module")
+def params():
+    return scaled_params("smoke")
+
+
+class TestConservationProperties:
+    @given(kernel=tiny_kernels(), design_name=st.sampled_from(sorted(DESIGNS)))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_any_kernel_and_design(self, kernel, design_name):
+        params = scaled_params("smoke")
+        launch = launch_kernel(kernel, params, design(design_name))
+        simulator = Simulator(launch, params)
+        stats = simulator.run()
+
+        # 1. Every access completed and was accounted.
+        expected = sum(
+            len(kernel.trace(cta, launch.trace_context()))
+            for cta in range(kernel.num_ctas)
+        )
+        assert stats.mem_accesses == expected
+        assert stats.instructions == expected * (kernel.compute_gap + 1)
+
+        # 2. The event queue drained: nothing left in flight.
+        assert len(simulator.engine.events) == 0
+        for slice_ in simulator.translation.slices:
+            assert len(slice_.mshr) == 0
+            assert slice_.mshr.parked == 0
+        for pool in simulator.translation.walkers:
+            assert pool.tokens.in_use == 0
+            assert pool.walks_started == pool.walks_completed
+
+        # 3. Counter partitions.
+        assert stats.l1_tlb_hits + stats.l1_tlb_misses == stats.mem_accesses
+        assert stats.walks <= stats.l2_miss_requests
+        assert stats.walks <= stats.pw_accesses <= 4 * stats.walks
+
+        # 4. Latency accounting is non-negative and finite.
+        assert stats.cycles >= 0
+        for value in stats.miss_cycle_breakdown.values():
+            assert value >= 0
+        if stats.walks:
+            assert stats.avg_walk_latency > 0
+
+    @given(kernel=tiny_kernels())
+    @settings(max_examples=15, deadline=None)
+    def test_private_design_is_fully_local_for_lookups(self, kernel):
+        params = scaled_params("smoke")
+        launch = launch_kernel(kernel, params, design("private"))
+        stats = Simulator(launch, params).run()
+        assert stats.routed_remote == 0
+        assert stats.l2_hits_remote == 0
+
+    @given(kernel=tiny_kernels())
+    @settings(max_examples=15, deadline=None)
+    def test_replication_eliminates_remote_walks(self, kernel):
+        params = scaled_params("smoke")
+        launch = launch_kernel(kernel, params, design("shared-ptr"))
+        stats = Simulator(launch, params).run()
+        assert stats.pw_accesses_remote == 0

@@ -1,0 +1,61 @@
+"""Tests for workload scaling helpers."""
+
+import pytest
+
+from repro.arch.params import scale_info
+from repro.vm.address import KB, MB
+from repro.workloads.scaling import (
+    MIN_ALLOC,
+    pow2_floor,
+    scaled_bytes,
+    scaled_count,
+)
+
+
+class TestPow2Floor:
+    def test_exact(self):
+        assert pow2_floor(8) == 8
+
+    def test_rounds_down(self):
+        assert pow2_floor(9) == 8
+        assert pow2_floor(1023) == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pow2_floor(0)
+
+
+class TestScaledBytes:
+    def test_paper_scale_is_identity_for_pow2(self):
+        assert scaled_bytes(16, "paper") == 16 * MB
+
+    def test_default_scale_divides_by_four(self):
+        divisor = scale_info("default")["footprint_divisor"]
+        assert divisor == 4
+        assert scaled_bytes(16, "default") == 4 * MB
+
+    def test_result_is_power_of_two(self):
+        for mb in (3, 10, 360, 512):
+            size = scaled_bytes(mb, "default")
+            assert size & (size - 1) == 0
+
+    def test_floor_prevents_degenerate_allocs(self):
+        assert scaled_bytes(1, "smoke") >= MIN_ALLOC
+
+    def test_mult_scales_up(self):
+        assert scaled_bytes(16, "default", mult=4) == 16 * MB
+
+    def test_fractional_paper_mb(self):
+        assert scaled_bytes(0.5, "paper") == max(512 * KB, MIN_ALLOC)
+
+
+class TestScaledCount:
+    def test_paper_identity(self):
+        assert scaled_count(512, "paper") == 512
+
+    def test_default_quarters(self):
+        assert scaled_count(512, "default") == 128
+
+    def test_minimum_floor(self):
+        assert scaled_count(16, "smoke") == 8
+        assert scaled_count(16, "smoke", minimum=4) >= 4

@@ -1,0 +1,171 @@
+"""End-to-end simulator tests at smoke scale (conservation + invariants)."""
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.driver.kernel_launch import launch_kernel
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.registry import WORKLOAD_NAMES, build_kernel
+
+
+class TestConservation:
+    """Accounting identities that must hold on every run."""
+
+    @pytest.mark.parametrize("design_name", ["private", "shared", "mgvm"])
+    def test_all_accesses_complete(self, run_smoke, design_name):
+        stats = run_smoke("GUPS", design_name)
+        kernel = build_kernel("GUPS", scale="smoke")
+        # Every generated access must have completed.
+        assert stats.mem_accesses > 0
+        assert stats.instructions == stats.mem_accesses * (kernel.compute_gap + 1)
+
+    def test_l1_accesses_partition(self, run_smoke):
+        stats = run_smoke("GUPS", "private")
+        assert stats.l1_tlb_hits + stats.l1_tlb_misses == stats.mem_accesses
+
+    def test_l2_requests_at_most_l1_misses(self, run_smoke):
+        # Per-CU coalescing can only shrink the request count; re-routing
+        # never creates new requests.
+        stats = run_smoke("GUPS", "shared")
+        assert stats.l2_requests <= stats.l1_tlb_misses
+
+    def test_walks_bounded_by_miss_requests(self, run_smoke):
+        stats = run_smoke("GUPS", "shared")
+        assert 0 < stats.walks <= stats.l2_miss_requests
+
+    def test_cycles_positive_and_finite(self, run_smoke):
+        stats = run_smoke("GUPS", "mgvm")
+        assert 0 < stats.cycles < float("inf")
+
+    def test_breakdown_accounts_only_for_misses(self, run_smoke):
+        stats = run_smoke("GUPS", "shared")
+        assert stats.total_miss_cycles > 0
+        # Average per-request latency implied by the buckets is sane.
+        per_request = stats.total_miss_cycles / max(stats.l2_requests, 1)
+        assert per_request < 100_000
+
+    def test_pw_access_counts_match_walk_counts(self, run_smoke):
+        stats = run_smoke("GUPS", "private")
+        # Each walk performs 1..4 PTE accesses.
+        assert stats.walks <= stats.pw_accesses <= 4 * stats.walks
+
+
+class TestDesignInvariants:
+    def test_private_never_routes_remote(self, run_smoke):
+        stats = run_smoke("GUPS", "private")
+        assert stats.routed_remote == 0
+        assert stats.l2_hits_remote == 0
+        assert stats.cycles_remote_hit == 0.0
+
+    def test_shared_routes_mostly_remote(self, run_smoke):
+        stats = run_smoke("GUPS", "shared")
+        # Page-interleave over 4 chiplets: ~3/4 of requests go remote.
+        fraction = stats.routed_remote / (stats.routed_remote + stats.routed_local)
+        assert 0.6 < fraction < 0.9
+
+    def test_replicated_page_table_walks_all_local(self, run_smoke):
+        for design_name in ("private-ptr", "shared-ptr"):
+            stats = run_smoke("GUPS", design_name)
+            assert stats.pw_accesses_remote == 0
+            assert stats.pw_accesses_local > 0
+
+    def test_mgvm_pte_placement_kills_remote_walks(self, run_smoke):
+        mgvm = run_smoke("GUPS", "mgvm")
+        shared = run_smoke("GUPS", "shared")
+        assert mgvm.pw_remote_fraction < 0.5 * shared.pw_remote_fraction
+
+    def test_naive_pte_placement_worse_than_follow_data(self, run_smoke):
+        naive = run_smoke("J1D", "private-naive-pte")
+        baseline = run_smoke("J1D", "private")
+        assert naive.pw_remote_fraction > baseline.pw_remote_fraction
+
+    def test_nl_workload_private_equals_mgvm_locality(self, run_smoke):
+        # For a well-partitioned NL kernel, MGvm keeps lookups local just
+        # like private.
+        stats = run_smoke("J1D", "mgvm")
+        fraction = stats.routed_local / (stats.routed_remote + stats.routed_local)
+        assert fraction > 0.9
+
+    def test_shared_lower_or_equal_mpki_than_private(self, run_smoke):
+        # Aggregate capacity can only help MPKI for a thrashing workload.
+        private = run_smoke("GUPS", "private")
+        shared = run_smoke("GUPS", "shared")
+        assert shared.mpki <= private.mpki
+
+    def test_remote_caching_reduces_remote_hits_vs_shared(self, run_smoke):
+        shared = run_smoke("GUPS", "shared")
+        caching = run_smoke("GUPS", "remote-caching")
+        shared_remote = shared.l2_hits_remote / max(shared.l2_requests, 1)
+        caching_remote = caching.l2_hits_remote / max(caching.l2_requests, 1)
+        assert caching_remote <= shared_remote
+
+    def test_balance_disabled_in_nobalance(self, run_smoke):
+        stats = run_smoke("SYRK", "mgvm-nobalance")
+        assert stats.balance_switches == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        params = scaled_params("smoke")
+        kernel = build_kernel("MIS", scale="smoke")
+        a = simulate(kernel, params, design("mgvm"), seed=3)
+        b = simulate(kernel, params, design("mgvm"), seed=3)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.walks == b.walks
+
+    def test_different_seeds_differ(self):
+        params = scaled_params("smoke")
+        kernel = build_kernel("GUPS", scale="smoke")
+        a = simulate(kernel, params, design("mgvm"), seed=1)
+        b = simulate(kernel, params, design("mgvm"), seed=2)
+        assert a.cycles != b.cycles
+
+
+class TestAllWorkloadsAllMainDesigns:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    @pytest.mark.parametrize("design_name", ["private", "shared", "mgvm"])
+    def test_runs_to_completion(self, run_smoke, workload, design_name):
+        stats = run_smoke(workload, design_name)
+        assert stats.instructions > 0
+        assert stats.cycles > 0
+        assert stats.walks > 0
+
+
+class TestParameterEffects:
+    def test_slower_link_hurts_shared(self, run_smoke):
+        base = run_smoke("GUPS", "shared")
+        slow = run_smoke("GUPS", "shared", link_latency=128.0)
+        assert slow.cycles > base.cycles
+
+    def test_larger_tlb_reduces_mpki(self, run_smoke):
+        base = run_smoke("GUPS", "private")
+        big = run_smoke("GUPS", "private", l2_tlb_entries=1024)
+        assert big.mpki < base.mpki
+
+    def test_large_pages_reduce_walks(self, run_smoke):
+        base = run_smoke("GUPS", "mgvm")
+        large = run_smoke("GUPS", "mgvm", page_size=64 * 1024)
+        assert large.walks < base.walks
+
+    def test_simulator_exposes_launch(self):
+        params = scaled_params("smoke")
+        kernel = build_kernel("J1D", scale="smoke")
+        launch = launch_kernel(kernel, params, design("mgvm"))
+        sim = Simulator(launch, params)
+        stats = sim.run()
+        assert stats is sim.stats
+
+
+class TestInterconnectContention:
+    def test_bandwidth_contention_slows_shared(self, run_smoke):
+        free = run_smoke("GUPS", "shared")
+        contended = run_smoke("GUPS", "shared", link_issue_interval=16.0)
+        assert contended.cycles > free.cycles
+
+    def test_private_design_barely_affected(self, run_smoke):
+        # Private lookups never cross the link; only walks/data do.
+        free = run_smoke("J1D", "private")
+        contended = run_smoke("J1D", "private", link_issue_interval=16.0)
+        assert contended.cycles < free.cycles * 1.5

@@ -1,0 +1,108 @@
+"""Tests for statistics and reporting helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.counters import RunStats
+from repro.stats.report import format_table, geomean, normalize_to
+
+
+class TestRunStats:
+    def test_throughput(self):
+        s = RunStats(instructions=1000, cycles=500.0)
+        assert s.throughput == 2.0
+
+    def test_throughput_zero_cycles(self):
+        assert RunStats().throughput == 0.0
+
+    def test_mpki(self):
+        s = RunStats(instructions=2000, walks=10)
+        assert s.mpki == 5.0
+
+    def test_mpki_no_instructions(self):
+        assert RunStats(walks=10).mpki == 0.0
+
+    def test_l2_hit_rate(self):
+        s = RunStats(l2_hits_local=6, l2_hits_remote=2, l2_miss_requests=2)
+        assert s.l2_hit_rate == 0.8
+
+    def test_local_hit_fraction(self):
+        s = RunStats(l2_hits_local=3, l2_hits_remote=1)
+        assert s.local_hit_fraction == 0.75
+
+    def test_local_hit_fraction_no_hits_defaults_local(self):
+        assert RunStats().local_hit_fraction == 1.0
+
+    def test_pw_remote_fraction(self):
+        s = RunStats(pw_accesses_local=3, pw_accesses_remote=1)
+        assert s.pw_remote_fraction == 0.25
+
+    def test_avg_walk_latency(self):
+        s = RunStats(walks=4, walk_latency_sum=400.0)
+        assert s.avg_walk_latency == 100.0
+
+    def test_breakdown_keys_are_paper_buckets(self):
+        breakdown = RunStats().miss_cycle_breakdown
+        assert list(breakdown) == ["local_hit", "remote_hit", "pw_local", "pw_remote"]
+
+    def test_total_miss_cycles(self):
+        s = RunStats(
+            cycles_local_hit=1.0,
+            cycles_remote_hit=2.0,
+            cycles_pw_local=3.0,
+            cycles_pw_remote=4.0,
+        )
+        assert s.total_miss_cycles == 10.0
+
+    def test_per_chiplet_incoming_sized(self):
+        assert len(RunStats(num_chiplets=6).per_chiplet_incoming) == 6
+
+    def test_summary_keys(self):
+        summary = RunStats().summary()
+        for key in ("throughput", "mpki", "l2_hit_rate", "pw_remote_fraction"):
+            assert key in summary
+
+    def test_l1_miss_rate(self):
+        s = RunStats(l1_tlb_hits=9, l1_tlb_misses=1)
+        assert s.l1_miss_rate == 0.1
+
+
+class TestReport:
+    def test_geomean_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_validation(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) <= g * (1 + 1e-9)
+        assert g <= max(values) * (1 + 1e-9)
+
+    def test_normalize_to(self):
+        assert normalize_to([2.0, 6.0], [1.0, 3.0]) == [2.0, 2.0]
+
+    def test_normalize_to_zero_baseline_nan(self):
+        result = normalize_to([1.0], [0.0])
+        assert math.isnan(result[0])
+
+    def test_normalize_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_to([1.0], [1.0, 2.0])
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.500" in lines[2]
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text

@@ -1,0 +1,150 @@
+"""Tests for the set-associative TLB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.tlb import TLB, TLBEntry
+
+
+def entry(vpn, home=0):
+    return TLBEntry(vpn, ppn=vpn + 1000, data_home=home)
+
+
+class TestConstruction:
+    def test_fully_assoc_by_default(self):
+        t = TLB(32)
+        assert t.num_sets == 1 and t.assoc == 32
+
+    def test_set_associative(self):
+        t = TLB(512, assoc=8)
+        assert t.num_sets == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TLB(10, assoc=4)
+        with pytest.raises(ValueError):
+            TLB(0)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        t = TLB(4)
+        assert t.lookup(7) is None
+        t.insert(entry(7))
+        found = t.lookup(7)
+        assert found is not None and found.vpn == 7
+        assert t.hits == 1 and t.misses == 1
+
+    def test_insert_returns_eviction(self):
+        t = TLB(2)
+        assert t.insert(entry(1)) is None
+        assert t.insert(entry(2)) is None
+        evicted = t.insert(entry(3))
+        assert evicted is not None and evicted.vpn == 1
+
+    def test_lru_refresh_on_lookup(self):
+        t = TLB(2)
+        t.insert(entry(1))
+        t.insert(entry(2))
+        t.lookup(1)  # 2 becomes LRU
+        evicted = t.insert(entry(3))
+        assert evicted.vpn == 2
+
+    def test_reinsert_same_vpn_refreshes(self):
+        t = TLB(2)
+        t.insert(entry(1))
+        t.insert(entry(2))
+        t.insert(entry(1))  # refresh, no eviction
+        assert t.occupancy() == 2
+        evicted = t.insert(entry(3))
+        assert evicted.vpn == 2
+
+    def test_probe_has_no_side_effects(self):
+        t = TLB(2)
+        t.insert(entry(1))
+        t.probe(1)
+        t.probe(99)
+        assert t.hits == 0 and t.misses == 0
+
+    def test_invalidate(self):
+        t = TLB(4)
+        t.insert(entry(1))
+        assert t.invalidate(1)
+        assert not t.invalidate(1)
+        assert t.lookup(1) is None
+
+    def test_flush(self):
+        t = TLB(8, assoc=2)
+        for vpn in range(8):
+            t.insert(entry(vpn))
+        t.flush()
+        assert t.occupancy() == 0
+
+    def test_contains(self):
+        t = TLB(4)
+        t.insert(entry(3))
+        assert 3 in t
+        assert 4 not in t
+
+    def test_iter_entries(self):
+        t = TLB(8, assoc=2)
+        for vpn in range(5):
+            t.insert(entry(vpn))
+        assert {e.vpn for e in t.iter_entries()} == set(range(5))
+
+    def test_hit_rate(self):
+        t = TLB(4)
+        t.insert(entry(1))
+        t.lookup(1)
+        t.lookup(2)
+        assert t.hit_rate == 0.5
+
+    def test_coarse_home_tag_preserved(self):
+        t = TLB(4)
+        t.insert(TLBEntry(9, 1009, data_home=2, coarse_home=3))
+        assert t.lookup(9).coarse_home == 3
+
+
+class TestIndexHashing:
+    def test_strided_vpns_use_many_sets(self):
+        # VPNs with a fixed residue mod 4 (what an interleaving HSL sends
+        # to one slice) must still spread across sets.
+        t = TLB(128, assoc=8)
+        vpns = [4 * i for i in range(128)]
+        for vpn in vpns:
+            t.insert(entry(vpn))
+        # With a plain modulo index only 1/4 of capacity would be usable.
+        assert t.occupancy() > 100
+
+    def test_capacity_never_exceeded(self):
+        t = TLB(16, assoc=4)
+        for vpn in range(1000):
+            t.insert(entry(vpn))
+        assert t.occupancy() <= 16
+
+    @given(st.lists(st.integers(0, 2**40), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_most_recent_insert_always_present(self, vpns):
+        t = TLB(8, assoc=2)
+        for vpn in vpns:
+            t.insert(entry(vpn))
+            assert t.probe(vpn) is not None
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_fully_assoc_matches_lru_model(self, vpns):
+        """A fully-associative TLB must behave exactly like ideal LRU."""
+        capacity = 4
+        t = TLB(capacity)
+        model = []
+        for vpn in vpns:
+            found = t.lookup(vpn) is not None
+            assert found == (vpn in model)
+            if vpn in model:
+                model.remove(vpn)
+            model.append(vpn)
+            if not found:
+                t.insert(entry(vpn))
+                if len(model) > capacity:
+                    model.pop(0)
+        assert {e.vpn for e in t.iter_entries()} == set(model)

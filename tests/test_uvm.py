@@ -1,0 +1,119 @@
+"""Tests for demand paging / UVM support (Section VII extension)."""
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.driver.kernel_launch import launch_kernel
+from repro.sim.simulator import Simulator, simulate
+from repro.vm.address import MB
+from repro.workloads.base import AllocationSpec, KernelSpec, streaming
+from repro.workloads.registry import build_kernel
+
+
+def page_stride_kernel(pages=32, num_ctas=4):
+    def trace(cta, ctx):
+        start = cta * pages * 4096
+        return streaming(ctx.base("a"), start, pages, 4096)
+
+    return KernelSpec(
+        name="uvm-test",
+        lasp_class="NL",
+        allocations=[AllocationSpec("a", 1 * MB)],
+        num_ctas=num_ctas,
+        trace=trace,
+        compute_gap=1,
+        cta_partition="blocked",
+    )
+
+
+@pytest.fixture(scope="module")
+def params():
+    return scaled_params("smoke")
+
+
+class TestLaunchUnderUVM:
+    def test_nothing_preplaced(self, params):
+        launch = launch_kernel(page_stride_kernel(), params, design("shared-uvm"))
+        assert launch.placement.num_pages == 0
+        assert launch.page_table.num_translations == 0
+        assert launch.fault_handler is not None
+
+    def test_pinned_designs_have_no_handler(self, params):
+        launch = launch_kernel(page_stride_kernel(), params, design("shared"))
+        assert launch.fault_handler is None
+
+
+class TestFaultBehaviour:
+    def test_one_fault_per_touched_page(self, params):
+        kernel = page_stride_kernel(pages=16, num_ctas=4)
+        stats = simulate(kernel, params, design("shared-uvm"))
+        assert stats.page_faults == 16 * 4
+        assert stats.fault_cycles == stats.page_faults * params.fault_latency
+
+    def test_faults_slow_the_run_down(self, params):
+        kernel = page_stride_kernel()
+        pinned = simulate(kernel, params, design("shared"))
+        demand = simulate(kernel, params, design("shared-uvm"))
+        assert demand.cycles > pinned.cycles
+
+    def test_lasp_placement_matches_pinned_homes(self, params):
+        kernel = page_stride_kernel()
+        pinned_launch = launch_kernel(kernel, params, design("shared"))
+        Simulator(pinned_launch, params).run()
+        uvm_launch = launch_kernel(kernel, params, design("shared-uvm"))
+        Simulator(uvm_launch, params).run()
+        # LASP-guided demand placement lands pages on the same chiplets
+        # as the launch-time placement would have.
+        for vpn, home, _ppn in uvm_launch.placement.iter_pages():
+            assert pinned_launch.placement.home_of(vpn) == home
+
+    def test_first_touch_places_on_faulting_chiplet(self, params):
+        kernel = page_stride_kernel()
+        launch = launch_kernel(kernel, params, design("first-touch"))
+        sim = Simulator(launch, params)
+        sim.run()
+        # Under the shared HSL the faulting chiplet is the VA's home
+        # slice, which is generally NOT the accessing CTA's chiplet —
+        # but every placed page must have a valid home.
+        for _vpn, home, _ppn in launch.placement.iter_pages():
+            assert 0 <= home < params.num_chiplets
+
+    def test_mgvm_uvm_keeps_leaf_ptes_on_hsl_home(self, params):
+        kernel = page_stride_kernel()
+        launch = launch_kernel(kernel, params, design("mgvm-uvm"))
+        Simulator(launch, params).run()
+        geometry = launch.geometry
+        assert launch.page_table.num_translations > 0
+        for node in launch.page_table.leaf_nodes():
+            base_va = (
+                geometry.prefix_first_vpn(node.prefix, 1) * geometry.page_size
+            )
+            assert node.home == launch.hsl.coarse_home(base_va)
+
+    def test_mgvm_uvm_reduces_remote_walks_vs_shared_uvm(self, params):
+        kernel = build_kernel("GUPS", scale="smoke")
+        shared = simulate(kernel, params, design("shared-uvm"))
+        mgvm = simulate(kernel, params, design("mgvm-uvm"))
+        assert mgvm.pw_remote_fraction < shared.pw_remote_fraction
+
+    def test_fault_handler_idempotent(self, params):
+        launch = launch_kernel(page_stride_kernel(), params, design("shared-uvm"))
+        handler = launch.fault_handler
+        first = handler.handle(launch.geometry.vpn(launch.bases["a"]), 0)
+        second = handler.handle(launch.geometry.vpn(launch.bases["a"]), 2)
+        assert first == second
+        assert handler.faults == 1
+
+    def test_fault_outside_allocations_rejected(self, params):
+        launch = launch_kernel(page_stride_kernel(), params, design("shared-uvm"))
+        with pytest.raises(ValueError):
+            launch.fault_handler.handle(1, 0)
+
+
+class TestDesignValidation:
+    def test_first_touch_requires_demand_paging(self):
+        from repro.core.config import VMDesign
+
+        with pytest.raises(ValueError):
+            VMDesign(name="bad", data_policy="first_touch")

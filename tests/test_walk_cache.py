@@ -1,0 +1,90 @@
+"""Tests for the page walk cache."""
+
+import pytest
+
+from repro.vm.address import KB, PageGeometry
+from repro.vm.walk_cache import PageWalkCache
+
+
+@pytest.fixture
+def geo():
+    return PageGeometry(4 * KB)
+
+
+class TestPrefixMatch:
+    def test_cold_miss_requires_full_walk(self, geo):
+        pwc = PageWalkCache(8)
+        assert pwc.first_level_to_fetch(geo, 12345) == 4
+        assert pwc.misses == 1
+
+    def test_fill_after_full_walk_enables_leaf_only(self, geo):
+        pwc = PageWalkCache(8)
+        vpn = 12345
+        start = pwc.first_level_to_fetch(geo, vpn)
+        pwc.fill(geo, vpn, start)
+        assert pwc.first_level_to_fetch(geo, vpn) == 1
+
+    def test_longest_prefix_wins(self, geo):
+        pwc = PageWalkCache(8)
+        vpn = 12345
+        pwc.fill(geo, vpn, 4)
+        # A VPN sharing only the level-3 node gets a level-3 hit.
+        sibling = vpn + geo.prefix_span_pages(2)
+        assert geo.node_prefix(sibling, 3) == geo.node_prefix(vpn, 3)
+        assert geo.node_prefix(sibling, 2) != geo.node_prefix(vpn, 2)
+        # Knowing the level-3 node, the walk reads levels 3, 2, 1.
+        assert pwc.first_level_to_fetch(geo, sibling) == 3
+
+    def test_neighbour_vpn_in_same_leaf_region_hits(self, geo):
+        pwc = PageWalkCache(8)
+        pwc.fill(geo, 512, 4)
+        assert pwc.first_level_to_fetch(geo, 513) == 1
+
+    def test_distinct_leaf_regions_partial_hit(self, geo):
+        pwc = PageWalkCache(8)
+        pwc.fill(geo, 0, 4)
+        # Next 2MB region: new leaf node, same level-2 node.
+        assert pwc.first_level_to_fetch(geo, 512) == 2
+
+    def test_hit_rate_counters(self, geo):
+        pwc = PageWalkCache(8)
+        pwc.first_level_to_fetch(geo, 1)
+        pwc.fill(geo, 1, 4)
+        pwc.first_level_to_fetch(geo, 1)
+        assert pwc.hits == 1 and pwc.misses == 1
+        assert pwc.hit_rate == 0.5
+
+
+class TestReplacement:
+    def test_lru_eviction(self, geo):
+        pwc = PageWalkCache(2)
+        span = geo.prefix_span_pages(1)
+        # Fill leaf pointers for many distinct regions; capacity 2.
+        for region in range(4):
+            pwc.fill(geo, region * span, 2)
+        assert len(pwc) <= 2
+
+    def test_partial_fill_only_learns_below_start(self, geo):
+        pwc = PageWalkCache(8)
+        vpn = 999 * geo.prefix_span_pages(1)
+        pwc.fill(geo, vpn, 1)  # leaf-only walk: re-confirms leaf pointer
+        assert (1, geo.node_prefix(vpn, 1)) in pwc
+        assert (2, geo.node_prefix(vpn, 2)) not in pwc
+
+    def test_flush(self, geo):
+        pwc = PageWalkCache(8)
+        pwc.fill(geo, 1, 4)
+        pwc.flush()
+        assert len(pwc) == 0
+        assert pwc.first_level_to_fetch(geo, 1) == 4
+
+    def test_entries_validation(self):
+        with pytest.raises(ValueError):
+            PageWalkCache(0)
+
+    def test_accesses_bounded_one_to_four(self, geo):
+        pwc = PageWalkCache(4)
+        for vpn in (0, 7, 513, 2**30):
+            level = pwc.first_level_to_fetch(geo, vpn)
+            assert 1 <= level <= 4
+            pwc.fill(geo, vpn, level)

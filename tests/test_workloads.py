@@ -1,0 +1,217 @@
+"""Tests for the 15 workload generators (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.driver.allocator import layout_allocations
+from repro.workloads.base import (
+    AllocationSpec,
+    KernelSpec,
+    TraceContext,
+    interleave,
+    interleave_chunks,
+    streaming,
+    subset_random,
+    tile_of,
+    uniform_random,
+    zipf_random,
+)
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    WORKLOAD_TABLE,
+    build_kernel,
+    workload_metadata,
+)
+
+# Table II of the paper: abbreviation -> LASP class.
+TABLE2_CLASSES = {
+    "C2D": "NL",
+    "FW": "RCL",
+    "GUPS": "unclassified",
+    "J1D": "NL",
+    "J2D": "NL",
+    "KM": "ITL",
+    "MT": "NL",
+    "MIS": "NL+ITL",
+    "PR": "ITL",
+    "SC": "NL",
+    "RED": "NL",
+    "SPMV": "ITL",
+    "S2D": "NL",
+    "SYRK": "RCL",
+    "SYR2": "RCL",
+}
+
+
+def context_for(kernel, seed=0):
+    bases = layout_allocations(kernel.allocations)
+    sizes = {a.name: a.size for a in kernel.allocations}
+    return TraceContext(bases, sizes, kernel.num_ctas, seed)
+
+
+class TestRegistry:
+    def test_exactly_fifteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 15
+
+    def test_table2_classes_match_paper(self):
+        for name, lasp_class in TABLE2_CLASSES.items():
+            assert WORKLOAD_TABLE[name].lasp_class == lasp_class
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_kernel("DOOM")
+        with pytest.raises(ValueError):
+            workload_metadata("DOOM")
+
+    def test_metadata_footprints_positive(self):
+        for name in WORKLOAD_NAMES:
+            assert workload_metadata(name).paper_mb > 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEveryWorkload:
+    def test_builds_at_smoke_scale(self, name):
+        kernel = build_kernel(name, scale="smoke")
+        assert isinstance(kernel, KernelSpec)
+        assert kernel.name.startswith(name[:3]) or kernel.name == name
+
+    def test_kernel_class_matches_registry(self, name):
+        kernel = build_kernel(name, scale="smoke")
+        assert kernel.lasp_class == WORKLOAD_TABLE[name].lasp_class
+
+    def test_traces_stay_inside_allocations(self, name):
+        kernel = build_kernel(name, scale="smoke")
+        ctx = context_for(kernel)
+        spans = [
+            (ctx.base(a.name), ctx.base(a.name) + a.size)
+            for a in kernel.allocations
+        ]
+        for cta in (0, kernel.num_ctas // 2, kernel.num_ctas - 1):
+            trace = np.asarray(kernel.trace(cta, ctx))
+            assert len(trace) > 0
+            for lo, hi in spans:
+                inside = (trace >= lo) & (trace < hi)
+                trace = trace[~inside]
+            assert len(trace) == 0, "accesses outside every allocation"
+
+    def test_traces_deterministic(self, name):
+        kernel = build_kernel(name, scale="smoke")
+        ctx = context_for(kernel, seed=7)
+        a = kernel.trace(3, ctx)
+        b = kernel.trace(3, ctx)
+        assert np.array_equal(a, b)
+
+    def test_different_ctas_differ(self, name):
+        kernel = build_kernel(name, scale="smoke")
+        ctx = context_for(kernel)
+        a = np.asarray(kernel.trace(0, ctx))
+        b = np.asarray(kernel.trace(kernel.num_ctas - 1, ctx))
+        assert len(a) != len(b) or not np.array_equal(a, b)
+
+    def test_footprint_scales_with_mult(self, name):
+        small = build_kernel(name, scale="smoke", mult=1)
+        large = build_kernel(name, scale="smoke", mult=4)
+        assert large.footprint >= small.footprint
+
+    def test_alignment_compatible_sizes(self, name):
+        kernel = build_kernel(name, scale="smoke")
+        for alloc in kernel.allocations:
+            assert alloc.size & (alloc.size - 1) == 0
+
+
+class TestTraceHelpers:
+    def test_streaming_sequential(self):
+        assert list(streaming(100, 0, 3, 64)) == [100, 164, 228]
+
+    def test_uniform_random_in_bounds(self):
+        rng = np.random.default_rng(1)
+        trace = uniform_random(rng, 1000, 4096, 100)
+        assert ((trace >= 1000) & (trace < 5096)).all()
+
+    def test_zipf_random_skews_low(self):
+        rng = np.random.default_rng(1)
+        trace = zipf_random(rng, 0, 1 << 20, 5000, alpha=1.5)
+        low_half = (trace < (1 << 19)).mean()
+        assert low_half > 0.6
+
+    def test_subset_random_touches_only_kept_pages(self):
+        rng = np.random.default_rng(1)
+        align = 4096
+        trace = subset_random(rng, 0, 64 * align, 2000, keep=1, outof=4, align=align)
+        pages = set(trace // align)
+        assert len(pages) <= 16  # 64 pages / 4
+
+    def test_subset_random_spreads_over_residues(self):
+        rng = np.random.default_rng(1)
+        align = 4096
+        trace = subset_random(rng, 0, 256 * align, 5000, keep=1, outof=4, align=align)
+        residues = {(page % 4) for page in set(trace // align)}
+        assert residues == {0, 1, 2, 3}
+
+    def test_subset_random_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            subset_random(rng, 0, 1 << 20, 10, keep=5, outof=4)
+        with pytest.raises(ValueError):
+            subset_random(rng, 0, 4096, 10, keep=1, outof=4)
+
+    def test_interleave_round_robin(self):
+        merged = interleave([1, 2], [10, 20], [100, 200])
+        assert list(merged) == [1, 10, 100, 2, 20, 200]
+
+    def test_interleave_chunks(self):
+        merged = interleave_chunks([([1, 2, 3, 4], 2), ([10, 20], 1)])
+        assert list(merged) == [1, 2, 10, 3, 4, 20]
+
+    def test_interleave_chunks_validation(self):
+        with pytest.raises(ValueError):
+            interleave_chunks([([1], 0)])
+
+    def test_tile_of_partitions_exactly(self):
+        starts = [tile_of(i, 4, 1024)[0] for i in range(4)]
+        assert starts == [0, 256, 512, 768]
+        with pytest.raises(ValueError):
+            tile_of(0, 2048, 1024)
+
+
+class TestSpecValidation:
+    def test_rejects_non_pow2_allocation(self):
+        with pytest.raises(ValueError):
+            AllocationSpec("x", 3 * 1024 * 1024)
+
+    def test_rejects_bad_class(self):
+        with pytest.raises(ValueError):
+            KernelSpec(
+                name="x",
+                lasp_class="XXL",
+                allocations=[AllocationSpec("a", 1 << 20)],
+                num_ctas=1,
+                trace=lambda c, ctx: [],
+            )
+
+    def test_rejects_empty_allocations(self):
+        with pytest.raises(ValueError):
+            KernelSpec(
+                name="x",
+                lasp_class="NL",
+                allocations=[],
+                num_ctas=1,
+                trace=lambda c, ctx: [],
+            )
+
+    def test_largest_allocation(self):
+        kernel = KernelSpec(
+            name="x",
+            lasp_class="NL",
+            allocations=[
+                AllocationSpec("small", 1 << 20),
+                AllocationSpec("big", 1 << 22),
+            ],
+            num_ctas=1,
+            trace=lambda c, ctx: [],
+        )
+        assert kernel.largest_allocation.name == "big"
+        assert kernel.footprint == (1 << 20) + (1 << 22)
+        assert kernel.allocation("small").size == 1 << 20
+        with pytest.raises(KeyError):
+            kernel.allocation("nope")
