@@ -1,0 +1,140 @@
+"""Microbenchmarks for the event-engine hot path.
+
+Two targets track the per-event cost across PRs (see
+``docs/performance.md`` and ``results/BENCH_engine.json``):
+
+* ``test_engine_event_throughput`` — raw dispatch rate through
+  :meth:`Engine.run`: a self-rescheduling callback chain seeded with a
+  burst of same-timestamp events, mirroring the push/pop mix of a real
+  simulation (every event schedules about one successor).
+* ``test_smoke_end_to_end_sim`` — one complete ``smoke``-scale
+  simulation (GUPS under MGvm), the unit of work the parallel experiment
+  fabric fans out.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_engine_hotpath.py``;
+``scripts/bench_smoke.sh`` snapshots the same numbers into
+``results/BENCH_engine.json``.
+"""
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.engine.event_queue import Engine
+from repro.sim.simulator import clear_trace_cache, simulate
+from repro.workloads.registry import build_kernel
+
+EVENTS = 200_000
+FANOUT = 64
+
+
+def drive_engine(num_events=EVENTS, fanout=FANOUT):
+    """Execute ``num_events`` events through a fresh engine."""
+    engine = Engine()
+    remaining = [num_events]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.after(1.0, tick)
+
+    for _ in range(fanout):
+        engine.at(0.0, tick)
+    engine.run()
+    return engine.events_executed
+
+
+def run_smoke_sim():
+    """One end-to-end smoke simulation with a cold trace cache."""
+    clear_trace_cache()
+    kernel = build_kernel("GUPS", scale="smoke")
+    params = scaled_params("smoke")
+    return simulate(kernel, params, design("mgvm"), seed=0)
+
+
+def measure_snapshot(rounds=3):
+    """Best-of-``rounds`` numbers for the BENCH_engine.json trajectory."""
+    import time
+
+    best_eps = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        executed = drive_engine()
+        elapsed = time.perf_counter() - start
+        best_eps = max(best_eps, executed / elapsed)
+
+    best_sim = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_smoke_sim()
+        best_sim = min(best_sim, time.perf_counter() - start)
+
+    return {
+        "engine_events_per_sec": round(best_eps, 1),
+        "smoke_sim_seconds": round(best_sim, 4),
+    }
+
+
+def append_snapshot(path="results/BENCH_engine.json", rounds=3):
+    """Append one measurement to the perf-trajectory file (a JSON list)."""
+    import datetime
+    import json
+    import os
+    import platform
+    import subprocess
+
+    snapshot = measure_snapshot(rounds=rounds)
+    snapshot["timestamp"] = datetime.datetime.now(
+        datetime.timezone.utc
+    ).isoformat(timespec="seconds")
+    snapshot["python"] = platform.python_version()
+    try:
+        snapshot["git_rev"] = (
+            subprocess.check_output(
+                ["git", "rev-parse", "--short", "HEAD"],
+                stderr=subprocess.DEVNULL,
+            )
+            .decode()
+            .strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        snapshot["git_rev"] = None
+
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                history = json.load(handle)
+            if not isinstance(history, list):
+                history = []
+        except ValueError:
+            history = []
+    history.append(snapshot)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return snapshot
+
+
+def test_engine_event_throughput(benchmark):
+    executed = benchmark(drive_engine)
+    assert executed >= EVENTS
+    benchmark.extra_info["events"] = executed
+    benchmark.extra_info["events_per_sec"] = executed / benchmark.stats["mean"]
+
+
+def test_smoke_end_to_end_sim(benchmark):
+    stats = benchmark(run_smoke_sim)
+    assert stats.instructions > 0
+    benchmark.extra_info["sim_events"] = stats.mem_accesses
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    out = append_snapshot(
+        path=sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_engine.json"
+    )
+    print(json.dumps(out, indent=2))

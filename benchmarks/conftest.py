@@ -6,6 +6,10 @@ rows it reports.  The scale is controlled with ``REPRO_BENCH_SCALE``
 for the numbers recorded in EXPERIMENTS.md, or ``paper`` for the closest
 match to Table II footprints).
 
+``REPRO_BENCH_JOBS=N`` runs the uncached simulations behind each figure
+across ``N`` worker processes (see ``docs/performance.md``); results are
+identical to the sequential run.
+
 Runs are memoized in a session-wide runner, so figures that share
 simulations (most of them) only pay once.
 """
@@ -17,6 +21,7 @@ import pytest
 from repro.experiments.runner import ExperimentRunner
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
 
 # Keep the benchmark suite representative but quick: a subset spanning
 # every regime (streaming NL, RCL with imbalance, random thrash, graph).
@@ -33,7 +38,9 @@ _RUNNER = None
 def runner():
     global _RUNNER
     if _RUNNER is None:
-        _RUNNER = ExperimentRunner(scale=BENCH_SCALE)
+        _RUNNER = ExperimentRunner(
+            scale=BENCH_SCALE, workers=BENCH_JOBS or None
+        )
     return _RUNNER
 
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Tier-1 tests + smoke benchmarks + engine perf snapshot.
+#
+# Runs, in order:
+#   1. the tier-1 test suite (must pass before any numbers are recorded);
+#   2. the engine hot-path microbenchmarks (pytest-benchmark targets);
+#   3. an engine/end-to-end measurement appended to
+#      results/BENCH_engine.json so the perf trajectory is tracked across
+#      PRs (see docs/performance.md).
+#
+# Environment:
+#   REPRO_BENCH_SCALE  scale for the figure benches (default: smoke)
+#   REPRO_BENCH_JOBS   worker processes for uncached simulations
+#   BENCH_OUT          snapshot path (default: results/BENCH_engine.json)
+#
+# Usage: scripts/bench_smoke.sh [extra pytest args for the bench step]
+
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== engine hot-path benchmarks =="
+python -m pytest benchmarks/bench_engine_hotpath.py -q \
+    --benchmark-min-rounds=3 "$@"
+
+echo "== appending perf snapshot =="
+python benchmarks/bench_engine_hotpath.py "${BENCH_OUT:-results/BENCH_engine.json}"

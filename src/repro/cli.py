@@ -14,14 +14,13 @@ Mirrors the paper artifact's scripts:
 import argparse
 import sys
 
-from repro.arch.params import SCALES, scaled_params
-from repro.core.config import DESIGNS, design
+from repro.arch.params import SCALES
+from repro.core.config import DESIGNS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import ExperimentRunner
-from repro.sim.simulator import simulate
 from repro.stats.export import write_normalized_csv, write_raw_csv
 from repro.stats.report import format_table
-from repro.workloads.registry import WORKLOAD_NAMES, build_kernel, workload_metadata
+from repro.workloads.registry import WORKLOAD_NAMES, workload_metadata
 
 MAIN_DESIGNS = ["private", "shared", "mgvm-nobalance", "mgvm"]
 
@@ -29,6 +28,17 @@ MAIN_DESIGNS = ["private", "shared", "mgvm-nobalance", "mgvm"]
 def _add_scale(parser):
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES), help="machine/workload scale"
+    )
+
+
+def _add_jobs(parser):
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="simulate uncached points across N worker processes "
+        "(results are identical to -j 1; see docs/performance.md)",
     )
 
 
@@ -47,23 +57,25 @@ def cmd_list(_args):
 
 
 def cmd_run(args):
-    params = scaled_params(args.scale)
-    kernel = build_kernel(args.workload, scale=args.scale)
+    runner = ExperimentRunner(
+        scale=args.scale, seed=args.seed, workers=args.jobs
+    )
+    grid = runner.run_matrix([args.workload], args.designs)
     rows = []
     baseline = None
     for name in args.designs:
-        stats = simulate(kernel, params, design(name), seed=args.seed)
+        record = grid[(args.workload, name)]
         if baseline is None:
-            baseline = stats.throughput or 1.0
+            baseline = record.throughput or 1.0
         rows.append(
             [
                 name,
-                stats.throughput / baseline,
-                stats.mpki,
-                stats.l2_hit_rate,
-                stats.local_hit_fraction,
-                stats.pw_remote_fraction,
-                len(stats.balance_switches),
+                record.throughput / baseline,
+                record.mpki,
+                record.l2_hit_rate,
+                record.local_hit_fraction,
+                record.pw_remote_fraction,
+                record.balance_switches,
             ]
         )
     print(
@@ -84,12 +96,14 @@ def cmd_run(args):
 
 
 def cmd_figure(args):
-    runner = ExperimentRunner(scale=args.scale, cache_path=args.cache)
     figure_fn = ALL_FIGURES[args.name]
     kwargs = {}
     if args.workloads:
         kwargs["workloads"] = args.workloads
-    result = figure_fn(runner, **kwargs)
+    with ExperimentRunner(
+        scale=args.scale, cache_path=args.cache, workers=args.jobs
+    ) as runner:
+        result = figure_fn(runner, **kwargs)
     text = result.text()
     if args.out:
         with open(args.out, "w") as handle:
@@ -99,10 +113,16 @@ def cmd_figure(args):
 
 
 def cmd_sweep(args):
-    runner = ExperimentRunner(scale=args.scale, cache_path=args.cache, verbose=True)
     workloads = args.workloads or list(WORKLOAD_NAMES)
+    with ExperimentRunner(
+        scale=args.scale,
+        cache_path=args.cache,
+        verbose=True,
+        workers=args.jobs,
+    ) as runner:
+        grid = runner.run_matrix(workloads, args.designs)
     records = [
-        runner.run(workload, design_name)
+        grid[(workload, design_name)]
         for workload in workloads
         for design_name in args.designs
     ]
@@ -128,6 +148,7 @@ def build_parser():
                        choices=sorted(DESIGNS))
     run_p.add_argument("--seed", type=int, default=0)
     _add_scale(run_p)
+    _add_jobs(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig_p.add_argument("name", choices=sorted(ALL_FIGURES))
@@ -135,6 +156,7 @@ def build_parser():
     fig_p.add_argument("--out", help="also write the table to this file")
     fig_p.add_argument("--cache", help="JSON run-cache path")
     _add_scale(fig_p)
+    _add_jobs(fig_p)
 
     sweep_p = sub.add_parser("sweep", help="run a workload/design matrix to CSV")
     sweep_p.add_argument("--workloads", nargs="*", choices=list(WORKLOAD_NAMES))
@@ -143,6 +165,7 @@ def build_parser():
     sweep_p.add_argument("--out", default="results.csv")
     sweep_p.add_argument("--cache", help="JSON run-cache path")
     _add_scale(sweep_p)
+    _add_jobs(sweep_p)
 
     return parser
 

@@ -23,6 +23,8 @@ class Timeline:
     ``at`` is actually granted the resource, and books the slot.
     """
 
+    __slots__ = ("interval", "next_free", "total_reservations", "total_wait")
+
     def __init__(self, interval=1.0):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -53,6 +55,8 @@ class TokenPool:
     is released.  Callbacks receive no arguments; the grant time is the
     engine's ``now`` when they run.
     """
+
+    __slots__ = ("engine", "capacity", "free", "name", "_waiters", "total_grants")
 
     def __init__(self, engine, capacity, name=""):
         if capacity < 1:

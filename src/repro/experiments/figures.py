@@ -67,6 +67,7 @@ def _gmean_row(label, rows, columns):
 def figure3(runner, workloads=None):
     """Throughput of private vs shared TLB, normalized to private."""
     workloads = workloads or ALL
+    runner.prefetch(workloads, ["private", "shared"])
     rows = []
     for workload in workloads:
         private = runner.run(workload, "private")
@@ -92,6 +93,7 @@ def figure4(runner, workloads=None):
         "pw_remote",
         "total",
     ]
+    runner.prefetch(workloads, ["private", "shared"])
     rows = []
     for workload in workloads:
         private = runner.run(workload, "private")
@@ -118,6 +120,7 @@ def figure4(runner, workloads=None):
 
 
 def _pw_split(runner, workloads, designs, name):
+    runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
         for design_name in designs:
@@ -143,6 +146,7 @@ def figure7(runner, workloads=None):
     """Throughput of the four main designs, normalized to private."""
     workloads = workloads or ALL
     designs = ["private", "shared", "mgvm-nobalance", "mgvm"]
+    runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
         records = [runner.run(workload, d) for d in designs]
@@ -159,6 +163,7 @@ def figure7(runner, workloads=None):
 def table3(runner, workloads=None):
     """L2 TLB MPKI under private, shared and MGvm."""
     workloads = workloads or ALL
+    runner.prefetch(workloads, ["private", "shared", "mgvm"])
     rows = []
     for workload in workloads:
         rows.append(
@@ -178,6 +183,7 @@ def table3(runner, workloads=None):
 def figure8(runner, workloads=None):
     """Fraction of local vs remote L2 TLB hits, shared vs MGvm."""
     workloads = workloads or ALL
+    runner.prefetch(workloads, ["shared", "mgvm"])
     rows = []
     for workload in workloads:
         for design_name in ("shared", "mgvm"):
@@ -204,6 +210,7 @@ def figure9(runner, workloads=None):
 def figure10(runner, workloads=None):
     """Average page-walk latency, normalized to private."""
     workloads = workloads or ALL
+    runner.prefetch(workloads, ["private", "shared", "mgvm"])
     rows = []
     for workload in workloads:
         records = [
@@ -230,6 +237,9 @@ def figure11(runner, workloads=None, mult=4):
     """Throughput with 64 KB pages (footprints scaled up, as in the paper)."""
     workloads = workloads or LARGE_PAGE_WORKLOADS
     overrides = {"page_size": 64 * 1024}
+    runner.prefetch(
+        workloads, ["private", "shared", "mgvm"], overrides=overrides, mult=mult
+    )
     rows = []
     for workload in workloads:
         records = [
@@ -271,8 +281,14 @@ def _sensitivity_overrides(runner, variant):
 
 
 def _sensitivity(runner, workloads, baseline, name):
-    rows = []
     variants = list(SENSITIVITY_VARIANTS)
+    for variant in variants:
+        runner.prefetch(
+            workloads,
+            [baseline, "mgvm"],
+            overrides=_sensitivity_overrides(runner, variant),
+        )
+    rows = []
     for workload in workloads:
         row = [workload]
         for variant in variants:
@@ -309,6 +325,7 @@ def figure14(runner, workloads=None):
     """Naive round-robin baseline: MGvm-RR vs private/shared (Fig 14)."""
     workloads = workloads or ALL
     designs = ["private-rr", "shared-rr", "mgvm-rr"]
+    runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
         records = [runner.run(workload, d) for d in designs]
@@ -326,6 +343,7 @@ def figure15(runner, workloads=None):
     """Page-table replication (PW-all-local) vs MGvm (Fig 15)."""
     workloads = workloads or ALL
     designs = ["private-ptr", "shared-ptr", "mgvm"]
+    runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
         records = [runner.run(workload, d) for d in designs]
@@ -342,6 +360,7 @@ def figure15(runner, workloads=None):
 def figure16(runner, workloads=None):
     """Local caching of remote L2 TLB entries vs MGvm (Fig 16)."""
     workloads = workloads or ALL
+    runner.prefetch(workloads, ["remote-caching", "mgvm"])
     rows = []
     for workload in workloads:
         caching = runner.run(workload, "remote-caching")
@@ -367,6 +386,7 @@ def ablation_pte_placement(runner, workloads=None):
     by ~64% on average versus spreading PTE pages uniformly.
     """
     workloads = workloads or ALL
+    runner.prefetch(workloads, ["private-naive-pte", "private"])
     rows = []
     for workload in workloads:
         naive = runner.run(workload, "private-naive-pte")
@@ -399,6 +419,7 @@ def ablation_switch_cost(runner, workloads=None):
     from repro.workloads.registry import build_kernel
 
     workloads = workloads or ["MIS", "SYRK", "SYR2"]
+    runner.prefetch(workloads, ["mgvm"])
     params = scaled_params(runner.scale)
     rows = []
     for workload in workloads:
@@ -493,6 +514,7 @@ def extension_uvm(runner, workloads=None):
     """
     workloads = workloads or ALL
     designs = ["first-touch", "shared-uvm", "mgvm-uvm"]
+    runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
         records = [runner.run(workload, d) for d in designs]

@@ -4,10 +4,31 @@ A figure typically reuses runs another figure already needed (Figure 3 is
 the private/shared columns of Figure 7; Table III reuses all of them), so
 the runner memoizes every run by its full configuration, in memory and
 optionally on disk as JSON.
+
+Two performance features matter for ``paper``-scale sweeps:
+
+* **Parallel fabric** — ``ExperimentRunner(workers=N)`` (or the
+  ``workers=`` argument to :meth:`ExperimentRunner.run_matrix`) partitions
+  the *uncached* ``(workload, design, overrides, mult)`` points of a batch
+  across a ``concurrent.futures.ProcessPoolExecutor``.  Each point is
+  simulated in an isolated worker process (the simulator is deterministic
+  given its seed, so process isolation cannot change results) and returns
+  a picklable :class:`RunRecord`.  Results are merged into the memo cache
+  in the same order the sequential path would have produced them, which
+  keeps the on-disk JSON byte-identical to a sequential run.
+
+* **Batched cache writes** — the JSON cache is only rewritten by
+  :meth:`flush` (called once per :meth:`run_matrix` batch, on context
+  exit, and from an ``atexit`` finalizer), not after every single run.
+  The write itself stays atomic (tmp file + ``os.replace``).
 """
 
+import atexit
 import json
+import logging
 import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -15,6 +36,8 @@ from repro.arch.params import scaled_params
 from repro.core.config import design
 from repro.sim.simulator import simulate
 from repro.workloads.registry import build_kernel
+
+log = logging.getLogger("repro.experiments")
 
 
 @dataclass
@@ -75,65 +98,89 @@ class RunRecord:
         )
 
 
-class ExperimentRunner:
-    """Executes simulation runs with memoization."""
+def _simulate_point(scale, workload, design_name, overrides, mult, seed):
+    """Simulate one point; module-level so worker processes can pickle it."""
+    params = scaled_params(scale, **(overrides or {}))
+    kernel = build_kernel(workload, scale=scale, mult=mult)
+    stats = simulate(kernel, params, design(design_name), seed=seed)
+    return RunRecord.from_stats(workload, design_name, stats)
 
-    def __init__(self, scale="default", cache_path=None, seed=0, verbose=False):
+
+def _flush_weak(runner_ref):
+    runner = runner_ref()
+    if runner is not None:
+        try:
+            runner.flush()
+        except Exception:  # pragma: no cover - best-effort exit hook
+            log.exception("failed to flush run cache at exit")
+
+
+class ExperimentRunner:
+    """Executes simulation runs with memoization.
+
+    ``workers`` sets the default parallelism of :meth:`run_matrix`
+    batches (``None``/``0``/``1`` mean sequential).  The runner is a
+    context manager; leaving the ``with`` block flushes the disk cache.
+    """
+
+    def __init__(
+        self,
+        scale="default",
+        cache_path=None,
+        seed=0,
+        verbose=False,
+        workers=None,
+    ):
         self.scale = scale
         self.seed = seed
         self.verbose = verbose
+        self.workers = workers
         self.cache_path = cache_path
         self._cache: Dict[str, RunRecord] = {}
-        if cache_path and os.path.exists(cache_path):
+        self._dirty = False
+        if cache_path:
+            self._load_cache(cache_path)
+            # Guarantee pending results reach disk even if the caller
+            # never flushes explicitly; the weakref keeps this hook from
+            # extending the runner's lifetime.
+            atexit.register(_flush_weak, weakref.ref(self))
+
+    # -- disk cache --------------------------------------------------------
+
+    def _load_cache(self, cache_path):
+        """Load the JSON run cache, ignoring corrupt or stale files.
+
+        A cache written by an older :class:`RunRecord` schema (fields
+        added or removed) or a truncated/corrupt JSON file must not crash
+        a sweep — the runs can simply be redone.  Any load failure logs a
+        warning and starts from an empty cache.
+        """
+        if not os.path.exists(cache_path):
+            return
+        try:
             with open(cache_path) as handle:
-                for key, data in json.load(handle).items():
-                    self._cache[key] = RunRecord.from_dict(data)
-
-    def _key(self, workload, design_name, overrides, mult):
-        items = tuple(sorted((overrides or {}).items()))
-        return json.dumps(
-            [self.scale, workload, design_name, items, mult, self.seed]
-        )
-
-    def run(
-        self,
-        workload: str,
-        design_name: str,
-        overrides: Optional[dict] = None,
-        mult: int = 1,
-    ) -> RunRecord:
-        """Simulate one (workload, design, machine) point, memoized."""
-        key = self._key(workload, design_name, overrides, mult)
-        record = self._cache.get(key)
-        if record is not None:
-            return record
-        params = scaled_params(self.scale, **(overrides or {}))
-        kernel = build_kernel(workload, scale=self.scale, mult=mult)
-        stats = simulate(kernel, params, design(design_name), seed=self.seed)
-        record = RunRecord.from_stats(workload, design_name, stats)
-        self._cache[key] = record
-        if self.verbose:
-            print(
-                "ran %s/%s: throughput=%.3f mpki=%.1f"
-                % (workload, design_name, record.throughput, record.mpki)
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    "expected a JSON object, got %s" % type(payload).__name__
+                )
+            loaded = {}
+            for key, data in payload.items():
+                loaded[key] = RunRecord.from_dict(data)
+        except (ValueError, TypeError, KeyError, OSError) as exc:
+            log.warning(
+                "ignoring unusable run cache %s (%s: %s); it will be "
+                "regenerated",
+                cache_path,
+                type(exc).__name__,
+                exc,
             )
-        self._save()
-        return record
+            return
+        self._cache.update(loaded)
 
-    def run_matrix(
-        self, workloads, designs, overrides=None, mult=1
-    ) -> Dict[Tuple[str, str], RunRecord]:
-        """All (workload, design) combinations, memoized."""
-        return {
-            (workload, design_name): self.run(
-                workload, design_name, overrides=overrides, mult=mult
-            )
-            for workload in workloads
-            for design_name in designs
-        }
-
-    def _save(self):
-        if not self.cache_path:
+    def flush(self):
+        """Write the cache to disk if it has unsaved results (atomic)."""
+        if not self._dirty or not self.cache_path:
             return
         payload = {
             key: record.to_dict() for key, record in self._cache.items()
@@ -142,3 +189,125 @@ class ExperimentRunner:
         with open(tmp, "w") as handle:
             json.dump(payload, handle)
         os.replace(tmp, self.cache_path)
+        self._dirty = False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.flush()
+        return False
+
+    # -- running -----------------------------------------------------------
+
+    def _key(self, workload, design_name, overrides, mult):
+        items = tuple(sorted((overrides or {}).items()))
+        return json.dumps(
+            [self.scale, workload, design_name, items, mult, self.seed]
+        )
+
+    def _record_result(self, key, record):
+        self._cache[key] = record
+        self._dirty = True
+        if self.verbose:
+            print(
+                "ran %s/%s: throughput=%.3f mpki=%.1f"
+                % (
+                    record.workload,
+                    record.design,
+                    record.throughput,
+                    record.mpki,
+                )
+            )
+
+    def run(
+        self,
+        workload: str,
+        design_name: str,
+        overrides: Optional[dict] = None,
+        mult: int = 1,
+    ) -> RunRecord:
+        """Simulate one (workload, design, machine) point, memoized.
+
+        Does *not* write the disk cache; call :meth:`flush` (or use the
+        runner as a context manager / let :meth:`run_matrix` do it) to
+        persist new results.
+        """
+        key = self._key(workload, design_name, overrides, mult)
+        record = self._cache.get(key)
+        if record is not None:
+            return record
+        record = _simulate_point(
+            self.scale, workload, design_name, overrides, mult, self.seed
+        )
+        self._record_result(key, record)
+        return record
+
+    def run_matrix(
+        self, workloads, designs, overrides=None, mult=1, workers=None
+    ) -> Dict[Tuple[str, str], RunRecord]:
+        """All (workload, design) combinations, memoized.
+
+        With ``workers > 1`` (argument, or the runner default) the
+        uncached points are simulated concurrently in worker processes.
+        The merge is deterministic: results enter the memo cache in the
+        same (workload-major) order the sequential path uses, so records
+        — and the flushed JSON cache — are identical either way.
+        """
+        workers = self.workers if workers is None else workers
+        points = [
+            (workload, design_name)
+            for workload in workloads
+            for design_name in designs
+        ]
+        if workers and workers > 1:
+            self._run_points_parallel(points, overrides, mult, workers)
+        result = {
+            point: self.run(point[0], point[1], overrides=overrides, mult=mult)
+            for point in points
+        }
+        self.flush()
+        return result
+
+    def prefetch(self, workloads, designs, overrides=None, mult=1):
+        """Warm the memo cache for a matrix (parallel when configured).
+
+        Figure functions call this before their per-point ``run`` loops so
+        a ``workers=N`` runner simulates the whole figure concurrently.
+        Sequential runners skip straight to the loop (no extra work).
+        """
+        if self.workers and self.workers > 1:
+            self.run_matrix(workloads, designs, overrides=overrides, mult=mult)
+
+    def _run_points_parallel(self, points, overrides, mult, workers):
+        """Simulate the uncached ``points`` in a process pool."""
+        missing = []
+        seen = set()
+        for workload, design_name in points:
+            key = self._key(workload, design_name, overrides, mult)
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                missing.append((key, workload, design_name))
+        if not missing:
+            return
+        max_workers = min(workers, len(missing))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                (
+                    key,
+                    pool.submit(
+                        _simulate_point,
+                        self.scale,
+                        workload,
+                        design_name,
+                        overrides,
+                        mult,
+                        self.seed,
+                    ),
+                )
+                for key, workload, design_name in missing
+            ]
+            # Merge in submission order (== sequential execution order),
+            # regardless of completion order, for byte-identical caches.
+            for key, future in futures:
+                self._record_result(key, future.result())

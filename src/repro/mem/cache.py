@@ -13,6 +13,18 @@ LINE_SIZE = 64
 class Cache:
     """LRU set-associative cache over 64-byte lines."""
 
+    __slots__ = (
+        "size_bytes",
+        "line_size",
+        "assoc",
+        "num_sets",
+        "name",
+        "_sets",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
     def __init__(self, size_bytes, assoc, name="cache", line_size=LINE_SIZE):
         if size_bytes < line_size:
             raise ValueError("cache smaller than one line")

@@ -7,6 +7,16 @@ access, waits for it to complete (address translation + data access), and
 repeats.  Translation latency therefore directly throttles instruction
 throughput, which is the back-pressure mechanism behind every result in
 the paper.
+
+Performance note: the slot state machine is the hottest callback chain in
+the simulator — every memory access passes through it three times (issue,
+data access, completion).  Instead of allocating a fresh closure for each
+step of each access, a :class:`_WavefrontSlot` carries its in-flight state
+(``trace``, ``index``, ``va``, ``entry``) in ``__slots__`` attributes and
+hands the engine *pre-bound* methods created once per slot, so the steady
+state allocates no callables at all.  The event times and scheduling
+order are identical to the original closure-based implementation, which
+keeps all results bit-for-bit reproducible.
 """
 
 from collections import deque
@@ -15,8 +25,132 @@ from repro.mem.cache import Cache
 from repro.vm.tlb import TLB, TLBEntry
 
 
+class _WavefrontSlot:
+    """One wavefront slot: the per-access state machine of a CU.
+
+    The slot advances through ``advance -> _issue -> _data_access ->
+    _complete`` for every element of its CTA trace, then picks the next
+    CTA from the CU's queue.  All engine callbacks are the bound methods
+    cached in ``__init__`` — no per-access closures.
+    """
+
+    __slots__ = (
+        "cu",
+        "engine",
+        "trace",
+        "index",
+        "va",
+        "entry",
+        "_issue_cb",
+        "_data_access_cb",
+        "_complete_cb",
+    )
+
+    def __init__(self, cu):
+        self.cu = cu
+        self.engine = cu.engine
+        self.trace = None
+        self.index = 0
+        self.va = 0
+        self.entry = None
+        self._issue_cb = self._issue
+        self._data_access_cb = self._data_access
+        self._complete_cb = self._complete
+
+    # -- state machine -----------------------------------------------------
+
+    def pick_cta(self):
+        cu = self.cu
+        if not cu.cta_queue:
+            self.trace = None
+            cu._active_slots -= 1
+            cu.sim.note_slot_retired()
+            return
+        self.trace = cu.cta_queue.popleft()
+        self.index = 0
+        self.advance()
+
+    def advance(self):
+        if self.index >= len(self.trace):
+            self.pick_cta()
+            return
+        self.va = int(self.trace[self.index])
+        # compute_gap instructions of compute, then the memory access.
+        self.engine.after(float(self.cu.compute_gap), self._issue_cb)
+
+    def _issue(self):
+        cu = self.cu
+        vpn = cu.geometry.vpn(self.va)
+        entry = cu.l1_tlb.lookup(vpn)
+        t_after_l1 = self.engine.now + cu.l1_tlb_latency
+        if entry is not None:
+            cu.stats.l1_tlb_hits += 1
+            self.entry = entry
+            self.engine.at(t_after_l1, self._data_access_cb)
+            return
+
+        cu.stats.l1_tlb_misses += 1
+        waiters = cu._pending_translations.get(vpn)
+        if waiters is not None:
+            # Another wavefront on this CU already misses on the same
+            # page; coalesce instead of issuing a duplicate request.
+            waiters.append(self)
+            return
+        cu._pending_translations[vpn] = [self]
+        cu.sim.translation.request(cu, vpn, t_after_l1, cu._translated_cb)
+
+    def _data_access(self):
+        cu = self.cu
+        entry = self.entry
+        geometry = cu.geometry
+        pa = (entry.ppn << geometry.page_shift) | geometry.page_offset(self.va)
+        if cu.l1_cache.access(pa):
+            cu.stats.l1_cache_hits += 1
+            self.engine.after(cu.l1_cache_latency, self._complete_cb)
+            return
+        done, remote = cu.sim.memory_system.access(
+            cu.chiplet,
+            entry.data_home,
+            pa,
+            self.engine.now + cu.l1_cache_latency,
+            kind="data",
+        )
+        if remote:
+            cu.stats.data_accesses_remote += 1
+        else:
+            cu.stats.data_accesses_local += 1
+        self.engine.at(done, self._complete_cb)
+
+    def _complete(self):
+        cu = self.cu
+        cu.stats.instructions += cu.compute_gap + 1
+        cu.stats.mem_accesses += 1
+        self.index += 1
+        self.advance()
+
+
 class ComputeUnit:
     """One CU: L1 TLB + L1 cache + wavefront slots replaying CTAs."""
+
+    __slots__ = (
+        "sim",
+        "engine",
+        "stats",
+        "geometry",
+        "cu_id",
+        "chiplet",
+        "l1_tlb",
+        "l1_cache",
+        "l1_tlb_latency",
+        "l1_cache_latency",
+        "num_slots",
+        "cta_queue",
+        "compute_gap",
+        "_pending_translations",
+        "_active_slots",
+        "_translated_cb",
+        "_slots",
+    )
 
     def __init__(self, simulator, cu_id, chiplet, params):
         self.sim = simulator
@@ -36,6 +170,8 @@ class ComputeUnit:
         self.compute_gap = 1
         self._pending_translations = {}
         self._active_slots = 0
+        self._translated_cb = self._translated
+        self._slots = []
 
     def add_cta(self, trace):
         """Queue one CTA's access stream (numpy int64 array of VAs)."""
@@ -46,79 +182,15 @@ class ComputeUnit:
         """Activate up to ``num_slots`` wavefront slots."""
         while self._active_slots < self.num_slots and self.cta_queue:
             self._active_slots += 1
-            self._slot_pick_cta()
-
-    # -- slot state machine ------------------------------------------------------
-
-    def _slot_pick_cta(self):
-        if not self.cta_queue:
-            self._active_slots -= 1
-            self.sim.note_slot_retired()
-            return
-        trace = self.cta_queue.popleft()
-        self._slot_advance(trace, 0)
-
-    def _slot_advance(self, trace, index):
-        if index >= len(trace):
-            self._slot_pick_cta()
-            return
-        va = int(trace[index])
-        # compute_gap instructions of compute, then the memory access.
-        self.engine.after(
-            float(self.compute_gap), lambda: self._issue(va, trace, index)
-        )
-
-    def _issue(self, va, trace, index):
-        vpn = self.geometry.vpn(va)
-        entry = self.l1_tlb.lookup(vpn)
-        t_after_l1 = self.engine.now + self.l1_tlb_latency
-        if entry is not None:
-            self.stats.l1_tlb_hits += 1
-            self.engine.at(
-                t_after_l1, lambda: self._data_access(va, entry, trace, index)
-            )
-            return
-
-        self.stats.l1_tlb_misses += 1
-        waiters = self._pending_translations.get(vpn)
-        if waiters is not None:
-            # Another wavefront on this CU already misses on the same
-            # page; coalesce instead of issuing a duplicate request.
-            waiters.append((va, trace, index))
-            return
-        self._pending_translations[vpn] = [(va, trace, index)]
-        self.sim.translation.request(self, vpn, t_after_l1, self._translated)
+            slot = _WavefrontSlot(self)
+            self._slots.append(slot)
+            slot.pick_cta()
 
     def _translated(self, vpn, entry):
         """Translation response arrives back at this CU."""
         self.l1_tlb.insert(
             TLBEntry(entry.vpn, entry.ppn, entry.data_home, entry.coarse_home)
         )
-        for va, trace, index in self._pending_translations.pop(vpn):
-            self._data_access(va, entry, trace, index)
-
-    def _data_access(self, va, entry, trace, index):
-        pa = (entry.ppn << self.geometry.page_shift) | self.geometry.page_offset(va)
-        if self.l1_cache.access(pa):
-            self.stats.l1_cache_hits += 1
-            self.engine.after(
-                self.l1_cache_latency, lambda: self._complete(trace, index)
-            )
-            return
-        done, remote = self.sim.memory_system.access(
-            self.chiplet,
-            entry.data_home,
-            pa,
-            self.engine.now + self.l1_cache_latency,
-            kind="data",
-        )
-        if remote:
-            self.stats.data_accesses_remote += 1
-        else:
-            self.stats.data_accesses_local += 1
-        self.engine.at(done, lambda: self._complete(trace, index))
-
-    def _complete(self, trace, index):
-        self.stats.instructions += self.compute_gap + 1
-        self.stats.mem_accesses += 1
-        self._slot_advance(trace, index + 1)
+        for slot in self._pending_translations.pop(vpn):
+            slot.entry = entry
+            slot._data_access()

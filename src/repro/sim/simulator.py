@@ -2,7 +2,20 @@
 
 ``simulate(kernel, params, design)`` is the one-call entry point used by
 the examples, the tests and the experiment harness.
+
+Trace memoization: generating a kernel's per-CTA access traces is pure
+numpy work that depends only on the kernel, its VA layout and the seed —
+not on the VM design being simulated.  Because every figure sweeps the
+same workload across several designs back to back, the traces are cached
+in a small process-local LRU keyed by the full trace-generation context,
+so repeated designs over the same kernel skip regeneration entirely.
+Set ``REPRO_TRACE_CACHE=0`` to disable (e.g. for ad-hoc kernels whose
+trace callables share a name but not behaviour), or call
+:func:`clear_trace_cache` to drop it.
 """
+
+import os
+from collections import OrderedDict
 
 from repro.arch.interconnect import Interconnect
 from repro.core.balance import BalanceController, BalanceParams
@@ -13,6 +26,131 @@ from repro.engine.event_queue import Engine
 from repro.sim.cu import ComputeUnit
 from repro.sim.translation import TranslationSystem
 from repro.stats.counters import RunStats
+
+# -- trace memoization ---------------------------------------------------------
+
+_TRACE_CACHE_CAPACITY = 8
+_TRACE_CACHE = OrderedDict()
+
+
+def clear_trace_cache():
+    """Drop all memoized kernel traces."""
+    _TRACE_CACHE.clear()
+
+
+def _trace_cache_enabled():
+    return os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+
+
+class _Unfingerprintable(Exception):
+    """Raised when a trace callable cannot be identified structurally."""
+
+
+_FREEZABLE = (type(None), bool, int, float, str, bytes)
+
+
+def _freeze(value, depth):
+    """A hashable, *content-based* stand-in for ``value``.
+
+    Only primitives, tuples of primitives and plain functions are
+    accepted; anything whose equality we cannot establish structurally
+    (arrays, arbitrary objects) raises :class:`_Unfingerprintable`, which
+    makes the kernel's traces uncacheable rather than wrongly shared.
+    """
+    if isinstance(value, _FREEZABLE):
+        return value
+    if isinstance(value, tuple):
+        return tuple(_freeze(item, depth) for item in value)
+    if callable(value):
+        return _fn_fingerprint(value, depth + 1)
+    raise _Unfingerprintable
+
+
+def _fn_fingerprint(fn, depth=0):
+    """Structural identity of a trace callable.
+
+    Two rebuilt closures (e.g. from calling the same workload builder
+    twice) fingerprint equal when their code *and* captured state match;
+    closures over different data — even with the same ``__qualname__`` —
+    fingerprint differently because the cell contents are part of the
+    key.
+    """
+    if depth > 4:
+        raise _Unfingerprintable
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        raise _Unfingerprintable
+    cells = ()
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        cells = tuple(
+            _freeze(cell.cell_contents, depth) for cell in closure
+        )
+    defaults = tuple(
+        _freeze(value, depth) for value in (fn.__defaults__ or ())
+    )
+    return (
+        getattr(fn, "__module__", None),
+        getattr(fn, "__qualname__", None),
+        code.co_code,
+        cells,
+        defaults,
+    )
+
+
+def _trace_cache_key(launch, seed):
+    """Identity of one trace set: kernel + trace callable + layout + seed.
+
+    The key captures everything :class:`~repro.workloads.base.TraceContext`
+    exposes to a trace function (bases, sizes, num_ctas, seed) plus the
+    structural fingerprint of the trace callable and the kernel's
+    metadata, so two kernels only share traces when they would generate
+    identical streams.  Returns ``None`` (uncacheable) when any component
+    cannot be fingerprinted safely.
+    """
+    kernel = launch.kernel
+    try:
+        return (
+            kernel.name,
+            _fn_fingerprint(kernel.trace),
+            kernel.num_ctas,
+            kernel.cta_partition,
+            tuple(sorted(launch.bases.items())),
+            tuple(
+                sorted((a.name, a.size) for a in kernel.allocations)
+            ),
+            tuple(sorted(kernel.extras.items())),
+            seed,
+        )
+    except (_Unfingerprintable, TypeError):
+        return None
+
+
+def _traces_for(launch, seed):
+    """Per-CTA traces for ``launch``, memoized across simulations."""
+    if not _trace_cache_enabled():
+        context = launch.trace_context(seed)
+        kernel = launch.kernel
+        return [
+            kernel.trace(cta_id, context)
+            for cta_id in range(kernel.num_ctas)
+        ]
+    key = _trace_cache_key(launch, seed)
+    if key is not None:
+        cached = _TRACE_CACHE.get(key)
+        if cached is not None:
+            _TRACE_CACHE.move_to_end(key)
+            return cached
+    context = launch.trace_context(seed)
+    kernel = launch.kernel
+    traces = [
+        kernel.trace(cta_id, context) for cta_id in range(kernel.num_ctas)
+    ]
+    if key is not None:
+        _TRACE_CACHE[key] = traces
+        while len(_TRACE_CACHE) > _TRACE_CACHE_CAPACITY:
+            _TRACE_CACHE.popitem(last=False)
+    return traces
 
 
 class Simulator:
@@ -76,10 +214,9 @@ class Simulator:
     def _build_traces(self, seed):
         launch = self.launch
         kernel = launch.kernel
-        context = launch.trace_context(seed)
         gap = kernel.compute_gap
-        for cta_id in range(kernel.num_ctas):
-            trace = kernel.trace(cta_id, context)
+        traces = _traces_for(launch, seed)
+        for cta_id, trace in enumerate(traces):
             cu = self.cus[launch.cta_cus[cta_id]]
             cu.compute_gap = gap
             cu.add_cta(trace)

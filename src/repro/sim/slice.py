@@ -23,6 +23,17 @@ _MAX_REROUTES = 4
 class L2TLBSlice:
     """The L2 TLB slice (and translation service) of one chiplet."""
 
+    __slots__ = (
+        "system",
+        "engine",
+        "stats",
+        "chiplet",
+        "tlb",
+        "port",
+        "lookup_latency",
+        "mshr",
+    )
+
     def __init__(self, system, chiplet, params):
         self.system = system
         self.engine = system.engine

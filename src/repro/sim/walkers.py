@@ -16,6 +16,19 @@ from repro.vm.walk_cache import PageWalkCache
 class WalkerPool:
     """Page table walkers + PWC of one chiplet."""
 
+    __slots__ = (
+        "engine",
+        "chiplet",
+        "page_table",
+        "geometry",
+        "memory_system",
+        "tokens",
+        "pwc",
+        "pwc_latency",
+        "walks_started",
+        "walks_completed",
+    )
+
     def __init__(
         self,
         engine,

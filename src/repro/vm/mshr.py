@@ -13,6 +13,17 @@ from collections import deque
 class MSHRFile:
     """Tracks outstanding misses keyed by VPN, with an overflow queue."""
 
+    __slots__ = (
+        "capacity",
+        "name",
+        "_entries",
+        "_overflow",
+        "allocations",
+        "merges",
+        "stall_events",
+        "peak_occupancy",
+    )
+
     def __init__(self, capacity, name="mshr"):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")

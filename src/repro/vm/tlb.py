@@ -34,6 +34,18 @@ class TLB:
     ``assoc=None`` (or ``assoc == entries``) makes it fully associative.
     """
 
+    __slots__ = (
+        "entries",
+        "assoc",
+        "num_sets",
+        "name",
+        "_sets",
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+    )
+
     def __init__(self, entries, assoc=None, name="tlb"):
         if entries < 1:
             raise ValueError("entries must be >= 1")

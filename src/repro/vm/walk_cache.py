@@ -18,6 +18,8 @@ from collections import OrderedDict
 class PageWalkCache:
     """Fully-associative LRU cache of known page-table node pointers."""
 
+    __slots__ = ("entries", "name", "_lru", "hits", "misses")
+
     # Node levels whose pointers can be cached (pointers to the root are
     # architectural state, and leaf PTEs belong in the TLBs).
     CACHED_LEVELS = (1, 2, 3)

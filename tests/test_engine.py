@@ -112,6 +112,50 @@ class TestEngine:
         e.run()
         assert order == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
 
+    def test_same_timestamp_events_run_in_scheduling_order(self):
+        """Regression for the same-timestamp drain loop in Engine.run."""
+        e = Engine()
+        order = []
+        for i in range(8):
+            e.at(5.0, lambda i=i: order.append(i))
+        e.run()
+        assert order == list(range(8))
+
+    def test_same_timestamp_drain_picks_up_events_pushed_mid_drain(self):
+        """A zero-delay event scheduled by a same-time callback runs in
+        this drain batch, after already-queued peers (FIFO among ties)."""
+        e = Engine()
+        order = []
+        e.at(1.0, lambda: (order.append("a"), e.after(0.0, lambda: order.append("c"))))
+        e.at(1.0, lambda: order.append("b"))
+        e.run()
+        assert order == ["a", "b", "c"]
+        assert e.now == 1.0
+
+    def test_until_with_same_timestamp_batch(self):
+        """The general path drains full same-time batches under `until`."""
+        e = Engine()
+        order = []
+        for i in range(3):
+            e.at(2.0, lambda i=i: order.append(i))
+        e.at(7.0, lambda: order.append("late"))
+        executed = e.run(until=2.0)
+        assert executed == 3
+        assert order == [0, 1, 2]
+        e.run()
+        assert order == [0, 1, 2, "late"]
+
+    def test_max_events_stops_mid_batch(self):
+        e = Engine()
+        order = []
+        for i in range(5):
+            e.at(1.0, lambda i=i: order.append(i))
+        executed = e.run(until=10.0, max_events=2)
+        assert executed == 2
+        assert order == [0, 1]
+        e.run()
+        assert order == [0, 1, 2, 3, 4]
+
     def test_determinism(self):
         def build_and_run():
             e = Engine()

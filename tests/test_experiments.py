@@ -1,5 +1,8 @@
 """Tests for the experiment runner and figure regeneration."""
 
+import json
+import os
+
 import pytest
 
 from repro.experiments.figures import (
@@ -53,6 +56,127 @@ class TestRunner:
     def test_record_serialization(self, runner):
         record = runner.run("GUPS", "private")
         assert RunRecord.from_dict(record.to_dict()) == record
+
+
+class TestBatchedCacheWrites:
+    def test_run_does_not_write_until_flush(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        r = ExperimentRunner(scale="smoke", cache_path=path)
+        r.run("GUPS", "private")
+        assert not os.path.exists(path)
+        r.flush()
+        assert os.path.exists(path)
+
+    def test_flush_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        r = ExperimentRunner(scale="smoke", cache_path=path)
+        r.run("GUPS", "private")
+        r.flush()
+        mtime = os.path.getmtime(path)
+        # Clean runner: nothing dirty, flush must not rewrite the file.
+        os.utime(path, (mtime - 100, mtime - 100))
+        r.flush()
+        assert os.path.getmtime(path) == pytest.approx(mtime - 100)
+
+    def test_run_matrix_flushes_once_per_batch(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.json")
+        r = ExperimentRunner(scale="smoke", cache_path=path)
+        writes = []
+        original_replace = os.replace
+
+        def counting_replace(src, dst):
+            writes.append(dst)
+            return original_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", counting_replace)
+        r.run_matrix(SMALL, ["private", "shared"])
+        assert writes == [path]
+
+    def test_context_manager_flushes(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with ExperimentRunner(scale="smoke", cache_path=path) as r:
+            r.run("GUPS", "private")
+            assert not os.path.exists(path)
+        assert os.path.exists(path)
+
+
+class TestCacheRobustness:
+    def test_corrupt_json_is_ignored(self, tmp_path, caplog):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as handle:
+            handle.write("{not valid json!!")
+        with caplog.at_level("WARNING", logger="repro.experiments"):
+            r = ExperimentRunner(scale="smoke", cache_path=path)
+        assert any("unusable run cache" in m for m in caplog.messages)
+        record = r.run("GUPS", "private")
+        assert record.throughput > 0
+
+    def test_schema_mismatch_is_ignored(self, tmp_path, caplog):
+        # Simulate a cache written by an older RunRecord schema.
+        path = str(tmp_path / "cache.json")
+        r = ExperimentRunner(scale="smoke", cache_path=path)
+        record = r.run("GUPS", "private")
+        r.flush()
+        with open(path) as handle:
+            payload = json.load(handle)
+        for data in payload.values():
+            data.pop("throughput")
+            data["retired_field"] = 1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with caplog.at_level("WARNING", logger="repro.experiments"):
+            stale = ExperimentRunner(scale="smoke", cache_path=path)
+        assert any("unusable run cache" in m for m in caplog.messages)
+        # The point is recomputed, not crashed on.
+        again = stale.run("GUPS", "private")
+        assert again == record
+
+    def test_non_object_payload_is_ignored(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as handle:
+            json.dump([1, 2, 3], handle)
+        r = ExperimentRunner(scale="smoke", cache_path=path)
+        assert r.run("GUPS", "private").throughput > 0
+
+
+class TestParallelRunner:
+    WORKLOADS = ["GUPS", "J1D"]
+    DESIGNS = ["private", "shared"]
+
+    def test_parallel_matches_sequential(self, tmp_path):
+        """run_matrix(workers=4) must equal the sequential run exactly."""
+        seq_path = str(tmp_path / "seq.json")
+        par_path = str(tmp_path / "par.json")
+        seq = ExperimentRunner(scale="smoke", cache_path=seq_path)
+        sequential = seq.run_matrix(self.WORKLOADS, self.DESIGNS)
+        par = ExperimentRunner(
+            scale="smoke", cache_path=par_path, workers=4
+        )
+        parallel = par.run_matrix(self.WORKLOADS, self.DESIGNS)
+
+        assert parallel.keys() == sequential.keys()
+        for point in sequential:
+            assert parallel[point] == sequential[point]
+        # Deterministic merge: the flushed JSON caches are byte-identical.
+        with open(seq_path, "rb") as a, open(par_path, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_parallel_respects_existing_cache(self):
+        r = ExperimentRunner(scale="smoke", workers=2)
+        first = r.run("GUPS", "private")
+        grid = r.run_matrix(["GUPS"], ["private"])
+        # The cached record is reused (memoized), not recomputed.
+        assert grid[("GUPS", "private")] is first
+
+    def test_workers_argument_overrides_runner_default(self, tmp_path):
+        r = ExperimentRunner(scale="smoke", workers=4)
+        grid = r.run_matrix(["GUPS"], ["private"], workers=1)
+        assert grid[("GUPS", "private")].throughput > 0
+
+    def test_figure_with_parallel_runner(self):
+        r = ExperimentRunner(scale="smoke", workers=2)
+        result = figure3(r, workloads=["GUPS"])
+        assert result.rows[0][1] == 1.0
 
 
 class TestFigures:

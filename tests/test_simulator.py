@@ -123,6 +123,65 @@ class TestDeterminism:
         assert a.cycles != b.cycles
 
 
+class TestTraceCache:
+    def test_rebuilt_registry_kernels_share_traces(self):
+        from repro.sim.simulator import _TRACE_CACHE, clear_trace_cache
+
+        clear_trace_cache()
+        params = scaled_params("smoke")
+        for design_name in ("private", "shared", "mgvm"):
+            kernel = build_kernel("GUPS", scale="smoke")
+            simulate(kernel, params, design(design_name), seed=0)
+        assert len(_TRACE_CACHE) == 1
+
+    def test_distinct_closures_with_same_name_do_not_collide(self):
+        """Two ad-hoc kernels sharing name/qualname but capturing
+        different state must not share cached traces."""
+        import numpy as np
+
+        from repro.sim.simulator import clear_trace_cache
+        from repro.workloads.base import AllocationSpec, KernelSpec
+
+        clear_trace_cache()
+        params = scaled_params("smoke")
+
+        def make(stride):
+            def trace(cta_id, ctx):
+                return ctx.base("a") + np.arange(64, dtype=np.int64) * stride
+
+            return KernelSpec(
+                name="adhoc",
+                lasp_class="NL",
+                allocations=[AllocationSpec("a", 1 << 20)],
+                num_ctas=4,
+                trace=trace,
+            )
+
+        a = simulate(make(64), params, design("private"), seed=0)
+        b = simulate(make(4096), params, design("private"), seed=0)
+        # Different strides touch different page counts; identical stats
+        # would mean the second run replayed the first kernel's traces.
+        assert a.walks != b.walks
+
+    def test_seed_is_part_of_the_key(self):
+        from repro.sim.simulator import clear_trace_cache
+
+        clear_trace_cache()
+        params = scaled_params("smoke")
+        a = simulate(build_kernel("GUPS", scale="smoke"), params, design("mgvm"), seed=1)
+        b = simulate(build_kernel("GUPS", scale="smoke"), params, design("mgvm"), seed=2)
+        assert a.cycles != b.cycles
+
+    def test_cache_can_be_disabled(self, monkeypatch):
+        from repro.sim import simulator as sim_mod
+
+        sim_mod.clear_trace_cache()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        params = scaled_params("smoke")
+        simulate(build_kernel("GUPS", scale="smoke"), params, design("private"), seed=0)
+        assert len(sim_mod._TRACE_CACHE) == 0
+
+
 class TestAllWorkloadsAllMainDesigns:
     @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
     @pytest.mark.parametrize("design_name", ["private", "shared", "mgvm"])
