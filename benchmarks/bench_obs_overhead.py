@@ -1,0 +1,169 @@
+"""Observability overhead guard.
+
+The hook fabric of ``repro.obs`` must be free when unused: a run without
+a probe may not get slower because the hooks exist.  Two checks enforce
+that (see docs/observability.md for the design that makes them pass):
+
+* **Engine dispatch** — the event engine's raw events/s, measured the
+  same way as ``bench_engine_hotpath``, compared against the *last*
+  snapshot in ``results/BENCH_engine.json`` (the PR-1 baseline).  The
+  hook fabric deliberately adds nothing to the engine hot loop, so this
+  may regress by at most ``MAX_REGRESSION`` (3%).
+
+* **Probe-off simulation** — one smoke-scale end-to-end simulation with
+  ``probe=None`` (the disabled path: every component holds pre-bound
+  NULL_PROBE no-ops) versus the same simulation rebuilt with an
+  explicitly passed ``NULL_PROBE``.  The two must be statistically
+  indistinguishable; the guard allows ``SIM_TOLERANCE`` (10%) of timer
+  noise on the best-of-rounds times.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
+for a JSON report, or with ``--check`` to exit non-zero on regression
+(what CI does).  Also collectable with pytest:
+``PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py``.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.obs import NULL_PROBE, TraceProbe
+from bench_engine_hotpath import drive_engine, run_smoke_sim
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results",
+    "BENCH_engine.json",
+)
+
+# The probe fabric must cost < 3% engine events/s vs the PR-1 baseline.
+MAX_REGRESSION = 0.03
+# Timer-noise allowance for the probe-off vs probe-absent comparison.
+SIM_TOLERANCE = 0.10
+
+ROUNDS = 3
+
+
+def baseline_events_per_sec(path=BASELINE_PATH):
+    """The last recorded events/s snapshot, or None if unavailable."""
+    try:
+        with open(path) as handle:
+            history = json.load(handle)
+        return float(history[-1]["engine_events_per_sec"])
+    except (OSError, ValueError, KeyError, IndexError, TypeError):
+        return None
+
+
+def measure_engine_eps(rounds=ROUNDS):
+    """Best-of-``rounds`` raw engine dispatch rate (events/s)."""
+    best = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        executed = drive_engine()
+        best = max(best, executed / (time.perf_counter() - start))
+    return best
+
+
+def _time_smoke(probe_factory, rounds=ROUNDS):
+    """Best-of-``rounds`` wall time of one smoke sim under ``probe``."""
+    from repro.arch.params import scaled_params
+    from repro.core.config import design
+    from repro.sim.simulator import clear_trace_cache, simulate
+    from repro.workloads.registry import build_kernel
+
+    kernel = build_kernel("GUPS", scale="smoke")
+    params = scaled_params("smoke")
+    # Warm the trace cache once so every timed round measures the
+    # simulator, not numpy trace generation.
+    simulate(kernel, params, design("mgvm"), seed=0, probe=probe_factory())
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        simulate(kernel, params, design("mgvm"), seed=0, probe=probe_factory())
+        best = min(best, time.perf_counter() - start)
+    clear_trace_cache()
+    return best
+
+
+def measure(rounds=ROUNDS):
+    """All guard numbers in one dict (also the ``--check`` report)."""
+    baseline = baseline_events_per_sec()
+    eps = measure_engine_eps(rounds=rounds)
+    off = _time_smoke(lambda: None, rounds=rounds)
+    null = _time_smoke(lambda: NULL_PROBE, rounds=rounds)
+    traced = _time_smoke(lambda: TraceProbe(max_spans=100000), rounds=rounds)
+    return {
+        "baseline_events_per_sec": baseline,
+        "engine_events_per_sec": round(eps, 1),
+        "events_per_sec_ratio": round(eps / baseline, 4) if baseline else None,
+        "smoke_probe_absent_seconds": round(off, 4),
+        "smoke_null_probe_seconds": round(null, 4),
+        "smoke_traced_seconds": round(traced, 4),
+        "null_probe_ratio": round(null / off, 4) if off else None,
+        "trace_probe_ratio": round(traced / off, 4) if off else None,
+    }
+
+
+def check(report):
+    """Return a list of human-readable regression messages (empty = OK)."""
+    problems = []
+    baseline = report["baseline_events_per_sec"]
+    if baseline:
+        floor = baseline * (1.0 - MAX_REGRESSION)
+        if report["engine_events_per_sec"] < floor:
+            problems.append(
+                "engine dispatch regressed: %.0f events/s < %.0f "
+                "(baseline %.0f - %d%%)"
+                % (
+                    report["engine_events_per_sec"],
+                    floor,
+                    baseline,
+                    MAX_REGRESSION * 100,
+                )
+            )
+    if report["null_probe_ratio"] and report["null_probe_ratio"] > (
+        1.0 + SIM_TOLERANCE
+    ):
+        problems.append(
+            "NULL_PROBE smoke sim %.1f%% slower than probe-absent "
+            "(tolerance %d%%)"
+            % (
+                (report["null_probe_ratio"] - 1.0) * 100,
+                SIM_TOLERANCE * 100,
+            )
+        )
+    return problems
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_engine_dispatch_not_regressed():
+    baseline = baseline_events_per_sec()
+    if baseline is None:
+        return  # no trajectory file; nothing to compare against
+    eps = measure_engine_eps()
+    assert eps >= baseline * (1.0 - MAX_REGRESSION), (
+        "hook fabric slowed the engine hot loop: %.0f < %.0f events/s"
+        % (eps, baseline * (1.0 - MAX_REGRESSION))
+    )
+
+
+def test_null_probe_is_free():
+    off = _time_smoke(lambda: None)
+    null = _time_smoke(lambda: NULL_PROBE)
+    assert null <= off * (1.0 + SIM_TOLERANCE), (
+        "explicit NULL_PROBE should cost nothing vs probe-absent: "
+        "%.4fs vs %.4fs" % (null, off)
+    )
+
+
+if __name__ == "__main__":
+    report = measure()
+    print(json.dumps(report, indent=2))
+    if "--check" in sys.argv[1:]:
+        failures = check(report)
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        sys.exit(1 if failures else 0)

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# End-to-end exercise of the observability CLI (`repro trace`).
+#
+# Runs one instrumented smoke-scale simulation, writes all three export
+# formats, and validates the Chrome trace: parseable JSON, non-empty,
+# with at least 4 distinct hop categories (the acceptance bar of the
+# observability layer) and a metrics CSV whose header matches
+# repro.obs.metrics.FIELDS.
+#
+# Usage: scripts/trace_smoke.sh [workload] [design]
+#   WORK_DIR   output directory (default: a fresh temp dir, removed on exit)
+
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+WORKLOAD="${1:-gups}"
+DESIGN="${2:-mgvm}"
+
+if [ -z "${WORK_DIR:-}" ]; then
+    WORK_DIR="$(mktemp -d)"
+    trap 'rm -rf "$WORK_DIR"' EXIT
+fi
+
+echo "== repro trace $WORKLOAD $DESIGN (smoke) =="
+python -m repro trace "$WORKLOAD" "$DESIGN" --scale smoke \
+    --out "$WORK_DIR/trace.json" \
+    --jsonl "$WORK_DIR/spans.jsonl" \
+    --metrics-csv "$WORK_DIR/metrics.csv" \
+    -v
+
+echo "== validating outputs =="
+python - "$WORK_DIR" <<'EOF'
+import json
+import sys
+
+workdir = sys.argv[1]
+
+with open(workdir + "/trace.json") as handle:
+    payload = json.load(handle)
+events = payload["traceEvents"]
+assert events, "empty traceEvents"
+cats = {e["cat"] for e in events if e.get("ph") == "X"}
+assert len(cats) >= 4, "want >= 4 hop categories, got %s" % sorted(cats)
+
+spans = [json.loads(line) for line in open(workdir + "/spans.jsonl")]
+assert spans and all(s["hops"] for s in spans)
+assert len(spans) == payload["otherData"]["spans"]
+
+import csv
+from repro.obs.metrics import FIELDS
+
+with open(workdir + "/metrics.csv") as handle:
+    reader = csv.reader(handle)
+    header = next(reader)
+    rows = list(reader)
+assert header == FIELDS, header
+assert rows, "empty metrics CSV"
+
+print(
+    "ok: %d trace events, %d spans, categories=%s, %d metric rows"
+    % (len(events), len(spans), sorted(cats), len(rows))
+)
+EOF

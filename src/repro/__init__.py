@@ -17,11 +17,12 @@ Quickstart::
 
 from repro.arch.params import GPUParams, scaled_params
 from repro.core.config import DESIGNS, VMDesign, design
+from repro.obs import NULL_PROBE, MetricsRecorder, MultiProbe, Probe, TraceProbe
 from repro.sim.simulator import Simulator, simulate
 from repro.stats.counters import RunStats
 from repro.workloads.registry import WORKLOAD_NAMES, build_kernel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GPUParams",
@@ -34,5 +35,10 @@ __all__ = [
     "RunStats",
     "WORKLOAD_NAMES",
     "build_kernel",
+    "Probe",
+    "NULL_PROBE",
+    "MultiProbe",
+    "TraceProbe",
+    "MetricsRecorder",
     "__version__",
 ]

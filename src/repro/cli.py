@@ -8,26 +8,80 @@ Mirrors the paper artifact's scripts:
 * ``python -m repro figure figure7 --scale default`` — regenerate one of
   the paper's figures/tables;
 * ``python -m repro sweep --out results.csv`` — the artifact's
-  collect-and-normalize flow (raw + normalized CSVs).
+  collect-and-normalize flow (raw + normalized CSVs);
+* ``python -m repro trace GUPS mgvm --out trace.json`` — run one
+  instrumented simulation and dump a Chrome trace-event file plus
+  optional JSONL spans and an epoch-metrics CSV (see
+  docs/observability.md).
+
+Tables and figures go to stdout; diagnostics go through the ``repro.*``
+logger hierarchy on stderr, controlled by ``--log-level``/``-v``.
 """
 
 import argparse
+import logging
+import math
 import sys
 
-from repro.arch.params import SCALES
-from repro.core.config import DESIGNS
+from repro.arch.params import SCALES, scaled_params
+from repro.core.config import DESIGNS, design
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import ExperimentRunner
+from repro.obs import MetricsRecorder, MultiProbe, TraceProbe
+from repro.sim.simulator import simulate
 from repro.stats.export import write_normalized_csv, write_raw_csv
 from repro.stats.report import format_table
-from repro.workloads.registry import WORKLOAD_NAMES, workload_metadata
+from repro.workloads.registry import WORKLOAD_NAMES, build_kernel, workload_metadata
+
+log = logging.getLogger("repro.cli")
 
 MAIN_DESIGNS = ["private", "shared", "mgvm-nobalance", "mgvm"]
+
+
+def _resolve_workload(name):
+    """Match ``name`` against WORKLOAD_NAMES case-insensitively."""
+    for candidate in WORKLOAD_NAMES:
+        if candidate.lower() == name.lower():
+            return candidate
+    raise SystemExit(
+        "unknown workload %r (choose from %s)"
+        % (name, ", ".join(WORKLOAD_NAMES))
+    )
+
+
+def configure_logging(level_name):
+    """Route the ``repro.*`` logger hierarchy to stderr at ``level_name``."""
+    level = getattr(logging, level_name.upper(), logging.WARNING)
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    return level
 
 
 def _add_scale(parser):
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES), help="machine/workload scale"
+    )
+
+
+def _add_logging(parser):
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="repro.* logger threshold (stderr diagnostics)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v = info, -vv = debug (shorthand for --log-level)",
     )
 
 
@@ -66,11 +120,17 @@ def cmd_run(args):
     for name in args.designs:
         record = grid[(args.workload, name)]
         if baseline is None:
-            baseline = record.throughput or 1.0
+            baseline = record.throughput
+            if not baseline:
+                log.warning(
+                    "baseline design %r has zero throughput; "
+                    "speedups are undefined (nan)",
+                    name,
+                )
         rows.append(
             [
                 name,
-                record.throughput / baseline,
+                record.throughput / baseline if baseline else math.nan,
                 record.mpki,
                 record.l2_hit_rate,
                 record.local_hit_fraction,
@@ -133,14 +193,62 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_trace(args):
+    workload = _resolve_workload(args.workload)
+    kernel = build_kernel(workload, scale=args.scale)
+    params = scaled_params(args.scale)
+    tracer = TraceProbe(
+        sample_every=args.sample_every, max_spans=args.max_spans
+    )
+    metrics = MetricsRecorder(sample_every=args.metrics_interval)
+    probe = MultiProbe([tracer, metrics])
+    log.info(
+        "tracing %s under %s (scale=%s, seed=%d)",
+        workload,
+        args.design,
+        args.scale,
+        args.seed,
+    )
+    stats = simulate(
+        kernel, params, design(args.design), seed=args.seed, probe=probe
+    )
+    tracer.write_chrome_trace(args.out)
+    written = [args.out]
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+        written.append(args.jsonl)
+    if args.metrics_csv:
+        metrics.write_csv(args.metrics_csv)
+        written.append(args.metrics_csv)
+    summary = tracer.summary()
+    log.info("trace summary: %s", summary)
+    rows = [
+        ["cycles", "%.0f" % stats.cycles],
+        ["spans", summary["spans"]],
+        ["dropped", summary["dropped"]],
+        ["hop categories", " ".join(summary["categories"])],
+        ["metric rows", len(metrics.rows)],
+        ["balance switches", len(metrics.switches)],
+        ["wrote", " ".join(written)],
+    ]
+    print(format_table(["trace", "value"], rows))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MCM GPU virtual-memory simulator (MICRO 2022 reproduction)",
     )
+    _add_logging(parser)
+    # argparse defaults are only applied to attributes the namespace does
+    # not already carry, so repeating the logging options on every
+    # subparser lets them be given before *or* after the subcommand
+    # (``repro -v trace ...`` and ``repro trace ... -v`` both work).
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and design points")
+    list_p = sub.add_parser("list", help="list workloads and design points")
+    _add_logging(list_p)
 
     run_p = sub.add_parser("run", help="simulate one workload")
     run_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
@@ -149,6 +257,7 @@ def build_parser():
     run_p.add_argument("--seed", type=int, default=0)
     _add_scale(run_p)
     _add_jobs(run_p)
+    _add_logging(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig_p.add_argument("name", choices=sorted(ALL_FIGURES))
@@ -157,6 +266,7 @@ def build_parser():
     fig_p.add_argument("--cache", help="JSON run-cache path")
     _add_scale(fig_p)
     _add_jobs(fig_p)
+    _add_logging(fig_p)
 
     sweep_p = sub.add_parser("sweep", help="run a workload/design matrix to CSV")
     sweep_p.add_argument("--workloads", nargs="*", choices=list(WORKLOAD_NAMES))
@@ -166,17 +276,66 @@ def build_parser():
     sweep_p.add_argument("--cache", help="JSON run-cache path")
     _add_scale(sweep_p)
     _add_jobs(sweep_p)
+    _add_logging(sweep_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one instrumented simulation and dump traces"
+    )
+    trace_p.add_argument("workload", help="workload name (case-insensitive)")
+    trace_p.add_argument(
+        "design", choices=sorted(DESIGNS), help="VM design point"
+    )
+    trace_p.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (load in about:tracing "
+        "or https://ui.perfetto.dev)",
+    )
+    trace_p.add_argument(
+        "--jsonl", help="also write one span per line as JSONL"
+    )
+    trace_p.add_argument(
+        "--metrics-csv", help="also write the epoch time-series CSV"
+    )
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="trace every Nth translation (1 = all)",
+    )
+    trace_p.add_argument(
+        "--max-spans",
+        type=int,
+        default=20000,
+        help="stop recording new spans past this count",
+    )
+    trace_p.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=2000,
+        help="metrics snapshot period, in observed translation events",
+    )
+    _add_scale(trace_p)
+    _add_logging(trace_p)
 
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    level_name = args.log_level
+    if args.verbose >= 2:
+        level_name = "debug"
+    elif args.verbose == 1:
+        level_name = "info"
+    configure_logging(level_name)
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
         "figure": cmd_figure,
         "sweep": cmd_sweep,
+        "trace": cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -25,6 +25,8 @@ command-processor decision flow (Listing 2):
 
 from dataclasses import dataclass
 
+from repro.obs.probe import NULL_PROBE
+
 
 @dataclass
 class BalanceParams:
@@ -81,12 +83,16 @@ class _RTUMonitor:
 class BalanceController:
     """The distributed monitoring logic plus the CP decision flow."""
 
-    def __init__(self, engine, hsl, num_chiplets, link_latency, params=None):
+    def __init__(
+        self, engine, hsl, num_chiplets, link_latency, params=None, probe=None
+    ):
         self.engine = engine
         self.hsl = hsl
         self.num_chiplets = num_chiplets
         self.link_latency = link_latency
         self.params = params or BalanceParams()
+        # Observability hooks (no-ops when probes are off).
+        self.probe = probe if probe is not None else NULL_PROBE
         self._rtus = [_RTUMonitor() for _ in range(num_chiplets)]
         # Slice hit/miss counters over the current epoch window.
         self._slice_hits = [0] * num_chiplets
@@ -144,7 +150,10 @@ class BalanceController:
 
     def _end_rtu_epoch(self, chiplet):
         rtu = self._rtus[chiplet]
-        rtu.roll_epoch(self.params.rtu_trigger_ratio)
+        possible = rtu.roll_epoch(self.params.rtu_trigger_ratio)
+        self.probe.rtu_epoch(
+            chiplet, rtu.prev_incoming, rtu.prev_outgoing, possible
+        )
         if (
             rtu.possible_streak >= self.params.consecutive_epochs
             and self.hsl.commanded == "coarse"
@@ -152,6 +161,7 @@ class BalanceController:
         ):
             rtu.possible_streak = 0
             self.alerts += 1
+            self.probe.balance_alert(chiplet)
             if self.params.magic:
                 self._cp_evaluate()
                 return
@@ -186,6 +196,7 @@ class BalanceController:
         if not self.hsl.command(mode):
             return
         self.switch_events.append((self.engine.now, mode))
+        self.probe.balance_switch(mode)
         self._cp_prev_imbalance = False
         self._balanced_streak = 0
         if self.params.magic:

@@ -505,6 +505,89 @@ def ablation_balance_thresholds(runner, workloads=None, epochs=None):
     )
 
 
+def timeseries(runner, workloads=None, design_name="mgvm", sample_every=2000):
+    """Epoch time-series panel: how the VM system evolves over a run.
+
+    Unlike the other figures (which consume end-of-run ``RunRecord``
+    aggregates), this panel re-simulates its workloads with a live
+    :class:`~repro.obs.MetricsRecorder` attached and renders the epoch
+    snapshots: per-snapshot translation-traffic concentration (the max
+    chiplet share of incoming routed requests), global L2 TLB hit rate,
+    walker-queue depth and MSHR occupancy, with balance alerts and HSL
+    switches called out in the ``event`` column.  This is the
+    observability view of the Section V monitoring hardware — the same
+    signals the RTU/CP thresholds act on (see docs/observability.md).
+    """
+    from repro.arch.params import scaled_params
+    from repro.core.config import design as design_lookup
+    from repro.obs import MetricsRecorder
+    from repro.sim.simulator import simulate
+    from repro.workloads.registry import build_kernel
+
+    workloads = workloads or ["SYR2"]
+    params = scaled_params(runner.scale)
+    headers = [
+        "workload",
+        "t",
+        "event",
+        "mode",
+        "incoming",
+        "max_share",
+        "hit_rate",
+        "walk_queue",
+        "mshr_occ",
+    ]
+    rows = []
+    series = {}
+    for workload in workloads:
+        kernel = build_kernel(workload, scale=runner.scale)
+        recorder = MetricsRecorder(sample_every=sample_every)
+        simulate(
+            kernel,
+            params,
+            design_lookup(design_name),
+            seed=runner.seed,
+            probe=recorder,
+        )
+        # Collapse the tidy per-chiplet rows into one panel row per
+        # snapshot, keeping the concentration signal (max share).
+        by_time = {}
+        for row in recorder.rows:
+            by_time.setdefault(
+                (row["t"], row["event"], row["mode"]), []
+            ).append(row)
+        for (t, event, mode), chunk in sorted(by_time.items()):
+            incoming = sum(r["incoming"] for r in chunk)
+            accesses = sum(r["serviced"] for r in chunk)
+            hits = sum(r["hits"] for r in chunk)
+            rows.append(
+                [
+                    workload,
+                    t,
+                    event,
+                    mode or "-",
+                    incoming,
+                    max(r["incoming"] for r in chunk) / incoming
+                    if incoming
+                    else 0.0,
+                    hits / accesses if accesses else 0.0,
+                    max(r["walk_queue_depth"] for r in chunk),
+                    max(r["mshr_occupancy"] for r in chunk),
+                ]
+            )
+        series[workload] = {
+            "rows": len(recorder.rows),
+            "switches": list(recorder.switches),
+        }
+    return FigureResult(
+        "Timeseries: epoch metrics under %s (max chiplet share, hit rate, "
+        "queue depths)" % design_name,
+        headers,
+        rows,
+        series=series,
+    )
+
+
 def extension_uvm(runner, workloads=None):
     """Section VII extension: MGvm under unified virtual memory.
 
@@ -550,4 +633,5 @@ ALL_FIGURES = {
     "ablation_switch_cost": ablation_switch_cost,
     "ablation_balance_thresholds": ablation_balance_thresholds,
     "extension_uvm": extension_uvm,
+    "timeseries": timeseries,
 }

@@ -1,0 +1,38 @@
+"""Observability: request-lifecycle tracing, epoch metrics, probe hooks.
+
+The simulator is instrumented with a *null-object* :class:`Probe`
+protocol: every component that participates in an address translation
+(`ComputeUnit`, `TranslationSystem`, `L2TLBSlice`, `MSHRFile`,
+`WalkerPool`, `BalanceController`) calls pre-bound probe hooks at its
+lifecycle points.  When observability is off the hooks are bound no-op
+methods of the shared :data:`NULL_PROBE` — no ``if`` chains in hot loops,
+and ``benchmarks/bench_obs_overhead.py`` guards that the disabled path
+costs < 3% of engine throughput.
+
+Concrete probes:
+
+* :class:`TraceProbe` — per-translation spans (timestamped hops from the
+  L1 lookup through HSL routing, slice lookup, MSHR, page walk and
+  fill), exported as JSONL or Chrome ``chrome://tracing`` JSON.
+* :class:`MetricsRecorder` — per-chiplet time-series samples (incoming /
+  serviced / hit-rate / walk-queue depth) every N observed events plus
+  on every RTU epoch roll and balance alert/switch, exported as CSV.
+* :class:`MultiProbe` — fan out to several probes in one run.
+
+See ``docs/observability.md`` for the full protocol and file formats.
+"""
+
+from repro.obs.probe import NULL_PROBE, MultiProbe, Probe
+from repro.obs.span import Hop, Span
+from repro.obs.trace import TraceProbe
+from repro.obs.metrics import MetricsRecorder
+
+__all__ = [
+    "Probe",
+    "NULL_PROBE",
+    "MultiProbe",
+    "Hop",
+    "Span",
+    "TraceProbe",
+    "MetricsRecorder",
+]

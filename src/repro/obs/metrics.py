@@ -1,0 +1,157 @@
+"""Epoch time-series metrics recorder.
+
+:class:`MetricsRecorder` samples per-chiplet translation traffic into a
+time series: every ``sample_every`` observed translation events (L1
+misses, slice lookups and walk completions each count as one observed
+event) it snapshots, per chiplet,
+
+* ``incoming``   — requests that arrived from *another* chiplet since
+  the previous snapshot,
+* ``serviced``   — slice lookups performed since the previous snapshot,
+* ``hits`` / ``hit_rate`` — slice hits over the same window,
+* ``walk_queue_depth`` — walkers busy + walks waiting for a walker,
+* ``mshr_occupancy``   — live MSHR entries of the slice,
+
+and it *also* snapshots (with the window counters accumulated so far) on
+every RTU epoch roll, balance alert and balance switch — the events that
+drive dHSL-balance — so a switch decision can be audited against the
+exact imbalance the monitors saw.  Rows are exported with
+:meth:`write_csv` and rendered by ``repro figure timeseries``.
+"""
+
+import csv
+
+from repro.obs.probe import Probe
+
+FIELDS = [
+    "t",
+    "event",
+    "mode",
+    "chiplet",
+    "incoming",
+    "serviced",
+    "hits",
+    "hit_rate",
+    "walk_queue_depth",
+    "mshr_occupancy",
+]
+
+
+class MetricsRecorder(Probe):
+    """Collects per-chiplet epoch/time-series rows (see module docstring)."""
+
+    def __init__(self, sample_every=2000):
+        super().__init__()
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.rows = []
+        self.switches = []  # (t, mode) mirror of RunStats.balance_switches
+        self._num_chiplets = 0
+        self._slices = ()
+        self._walkers = ()
+        self._ticks = 0
+        self._win_incoming = []
+        self._win_serviced = []
+        self._win_hits = []
+
+    def attach(self, sim):
+        super().attach(sim)
+        translation = sim.translation
+        self._slices = translation.slices
+        self._walkers = translation.walkers
+        self._num_chiplets = len(self._slices)
+        self._win_incoming = [0] * self._num_chiplets
+        self._win_serviced = [0] * self._num_chiplets
+        self._win_hits = [0] * self._num_chiplets
+
+    # -- observed-event hooks ---------------------------------------------------
+
+    def _tick(self):
+        self._ticks += 1
+        if self._ticks >= self.sample_every:
+            self.snapshot("sample")
+
+    def l1_miss(self, cu, vpn):
+        self._tick()
+
+    def slice_arrive(self, req, chiplet):
+        if req.origin != chiplet:
+            self._win_incoming[chiplet] += 1
+
+    def slice_lookup(self, req, chiplet, hit):
+        self._win_serviced[chiplet] += 1
+        if hit:
+            self._win_hits[chiplet] += 1
+        self._tick()
+
+    def walk_done(self, record, chiplet):
+        self._tick()
+
+    # -- balance-driven snapshots ------------------------------------------------
+
+    def rtu_epoch(self, chiplet, incoming, outgoing, possible):
+        self.snapshot("epoch", mode="possible" if possible else "")
+
+    def balance_alert(self, chiplet):
+        self.snapshot("alert")
+
+    def balance_switch(self, mode):
+        self.switches.append((self.engine.now, mode))
+        self.snapshot("switch", mode=mode)
+
+    def run_finished(self, stats):
+        self.snapshot("final")
+
+    # -- snapshotting -----------------------------------------------------------
+
+    def snapshot(self, event, mode=""):
+        """Emit one row per chiplet and reset the window counters."""
+        now = self.engine.now if self.engine is not None else 0.0
+        self._ticks = 0
+        for chiplet in range(self._num_chiplets):
+            serviced = self._win_serviced[chiplet]
+            hits = self._win_hits[chiplet]
+            walkers = self._walkers[chiplet]
+            tokens = walkers.tokens
+            self.rows.append(
+                {
+                    "t": now,
+                    "event": event,
+                    "mode": mode,
+                    "chiplet": chiplet,
+                    "incoming": self._win_incoming[chiplet],
+                    "serviced": serviced,
+                    "hits": hits,
+                    "hit_rate": hits / serviced if serviced else 0.0,
+                    "walk_queue_depth": tokens.in_use + tokens.queue_length,
+                    "mshr_occupancy": len(self._slices[chiplet].mshr),
+                }
+            )
+        self._win_incoming = [0] * self._num_chiplets
+        self._win_serviced = [0] * self._num_chiplets
+        self._win_hits = [0] * self._num_chiplets
+
+    # -- exporters ----------------------------------------------------------------
+
+    def write_csv(self, path):
+        """Write the collected rows as a tidy (one row per chiplet) CSV."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=FIELDS)
+            writer.writeheader()
+            for row in self.rows:
+                out = dict(row)
+                out["hit_rate"] = "%.4f" % out["hit_rate"]
+                writer.writerow(out)
+
+    # -- summaries ----------------------------------------------------------------
+
+    def events(self, kind):
+        """All rows of one event kind (e.g. ``"switch"``)."""
+        return [row for row in self.rows if row["event"] == kind]
+
+    def summary(self):
+        kinds = {}
+        for row in self.rows:
+            kinds[row["event"]] = kinds.get(row["event"], 0) + 1
+        return {"rows": len(self.rows), "by_event": kinds}

@@ -1,0 +1,223 @@
+"""The instrumentation hook protocol (null-object pattern).
+
+:class:`Probe` is both the interface and the no-op implementation: every
+hook is an empty method, so the disabled path is a call to a pre-bound
+no-op bound method — components cache the bound hooks in ``__slots__``
+attributes at construction time and never test a flag in their hot
+loops.  The module-level :data:`NULL_PROBE` singleton is shared by every
+uninstrumented component.
+
+Hook call sites (who calls what, in lifecycle order):
+
+===========================  =================================================
+Hook                         Caller / moment
+===========================  =================================================
+``l1_miss``                  ``ComputeUnit`` — unique L1 TLB miss, before the
+                             translation request is issued
+``l1_coalesced``             ``ComputeUnit`` — miss merged onto an in-flight
+                             translation of the same page
+``translation_start``        ``TranslationSystem.request`` — request created
+``route``                    ``TranslationSystem`` — initial HSL route and
+                             every later forward (re-route / caching forward)
+``slice_arrive``             ``L2TLBSlice.receive`` — request reaches a slice
+``slice_lookup``             ``L2TLBSlice`` — lookup port done (hit or miss)
+``reroute``                  ``L2TLBSlice`` — stale-HSL re-route decision
+``mshr_merge``               ``L2TLBSlice`` — miss merged onto an MSHR entry
+``mshr_stall``               ``L2TLBSlice`` — MSHR full, request parked
+``mshr_occupancy``           ``MSHRFile`` — entry allocated or retired
+``page_fault``               ``L2TLBSlice`` — demand-paging fault (UVM)
+``walk_start``               ``WalkerPool`` — walker granted
+``walk_level``               ``WalkerPool`` — one PTE read finished (with the
+                             level and its local/remote tag)
+``walk_done``                ``WalkerPool`` — walk complete
+``respond``                  ``L2TLBSlice`` — response sent back to the origin
+``rtu_epoch``                ``BalanceController`` — RTU epoch rolled
+``balance_alert``            ``BalanceController`` — RTU alerted the CP
+``balance_switch``           ``BalanceController`` — CP broadcast a switch
+``run_finished``             ``Simulator.run`` — end of simulation
+===========================  =================================================
+
+Subclasses override only the hooks they need and may keep state; the
+:meth:`Probe.attach` call (made once by ``Simulator.__init__``) hands
+them the simulator so they can read the engine clock and component
+references.
+"""
+
+
+class Probe:
+    """No-op instrumentation probe; base class for real probes."""
+
+    def __init__(self):
+        self.engine = None
+        self.sim = None
+
+    def attach(self, sim):
+        """Bind to a simulator (engine clock + component references)."""
+        self.sim = sim
+        self.engine = sim.engine
+
+    # -- CU / L1 ----------------------------------------------------------
+
+    def l1_miss(self, cu, vpn):
+        pass
+
+    def l1_coalesced(self, cu, vpn):
+        pass
+
+    # -- routing ----------------------------------------------------------
+
+    def translation_start(self, req):
+        pass
+
+    def route(self, req, src, dst, depart, arrive):
+        pass
+
+    # -- L2 slice ---------------------------------------------------------
+
+    def slice_arrive(self, req, chiplet):
+        pass
+
+    def slice_lookup(self, req, chiplet, hit):
+        pass
+
+    def reroute(self, req, src, dst):
+        pass
+
+    def mshr_merge(self, req, chiplet):
+        pass
+
+    def mshr_stall(self, req, chiplet):
+        pass
+
+    def page_fault(self, vpn, chiplet):
+        pass
+
+    # -- MSHR file ---------------------------------------------------------
+
+    def mshr_occupancy(self, name, occupancy):
+        pass
+
+    # -- page walkers -------------------------------------------------------
+
+    def walk_start(self, record, chiplet):
+        pass
+
+    def walk_level(self, record, chiplet, level, remote, t0, t1):
+        pass
+
+    def walk_done(self, record, chiplet):
+        pass
+
+    # -- fill ---------------------------------------------------------------
+
+    def respond(self, req, entry, walk, chiplet, arrive):
+        pass
+
+    # -- balance machinery ---------------------------------------------------
+
+    def rtu_epoch(self, chiplet, incoming, outgoing, possible):
+        pass
+
+    def balance_alert(self, chiplet):
+        pass
+
+    def balance_switch(self, mode):
+        pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run_finished(self, stats):
+        pass
+
+
+#: Shared no-op probe bound into every uninstrumented component.
+NULL_PROBE = Probe()
+
+
+class MultiProbe(Probe):
+    """Fans every hook out to several probes (e.g. tracer + metrics)."""
+
+    def __init__(self, probes):
+        super().__init__()
+        self.probes = list(probes)
+
+    def attach(self, sim):
+        super().attach(sim)
+        for probe in self.probes:
+            probe.attach(sim)
+
+    def l1_miss(self, cu, vpn):
+        for probe in self.probes:
+            probe.l1_miss(cu, vpn)
+
+    def l1_coalesced(self, cu, vpn):
+        for probe in self.probes:
+            probe.l1_coalesced(cu, vpn)
+
+    def translation_start(self, req):
+        for probe in self.probes:
+            probe.translation_start(req)
+
+    def route(self, req, src, dst, depart, arrive):
+        for probe in self.probes:
+            probe.route(req, src, dst, depart, arrive)
+
+    def slice_arrive(self, req, chiplet):
+        for probe in self.probes:
+            probe.slice_arrive(req, chiplet)
+
+    def slice_lookup(self, req, chiplet, hit):
+        for probe in self.probes:
+            probe.slice_lookup(req, chiplet, hit)
+
+    def reroute(self, req, src, dst):
+        for probe in self.probes:
+            probe.reroute(req, src, dst)
+
+    def mshr_merge(self, req, chiplet):
+        for probe in self.probes:
+            probe.mshr_merge(req, chiplet)
+
+    def mshr_stall(self, req, chiplet):
+        for probe in self.probes:
+            probe.mshr_stall(req, chiplet)
+
+    def page_fault(self, vpn, chiplet):
+        for probe in self.probes:
+            probe.page_fault(vpn, chiplet)
+
+    def mshr_occupancy(self, name, occupancy):
+        for probe in self.probes:
+            probe.mshr_occupancy(name, occupancy)
+
+    def walk_start(self, record, chiplet):
+        for probe in self.probes:
+            probe.walk_start(record, chiplet)
+
+    def walk_level(self, record, chiplet, level, remote, t0, t1):
+        for probe in self.probes:
+            probe.walk_level(record, chiplet, level, remote, t0, t1)
+
+    def walk_done(self, record, chiplet):
+        for probe in self.probes:
+            probe.walk_done(record, chiplet)
+
+    def respond(self, req, entry, walk, chiplet, arrive):
+        for probe in self.probes:
+            probe.respond(req, entry, walk, chiplet, arrive)
+
+    def rtu_epoch(self, chiplet, incoming, outgoing, possible):
+        for probe in self.probes:
+            probe.rtu_epoch(chiplet, incoming, outgoing, possible)
+
+    def balance_alert(self, chiplet):
+        for probe in self.probes:
+            probe.balance_alert(chiplet)
+
+    def balance_switch(self, mode):
+        for probe in self.probes:
+            probe.balance_switch(mode)
+
+    def run_finished(self, stats):
+        for probe in self.probes:
+            probe.run_finished(stats)

@@ -1,0 +1,115 @@
+"""Request-lifecycle spans: the unit of trace data.
+
+A :class:`Span` is the journey of one coalesced memory access that
+missed its L1 TLB: an ordered list of :class:`Hop` records, each a
+``[t0, t1]`` interval tagged with a category (``l1``, ``route``, ``l2``,
+``mshr``, ``walk``, ``fill``) and the chiplet where the work happened.
+Hop timestamps come straight from the engine clock, so within a span
+they are monotonically non-decreasing in append order (the tracer
+attaches page-walk detail only to the walk's MSHR leader to preserve
+this).
+"""
+
+
+class Hop:
+    """One timestamped step of a translation's journey."""
+
+    __slots__ = ("cat", "name", "t0", "t1", "chiplet", "detail")
+
+    def __init__(self, cat, name, t0, t1, chiplet, detail=None):
+        self.cat = cat
+        self.name = name
+        self.t0 = t0
+        self.t1 = t1
+        self.chiplet = chiplet
+        self.detail = detail
+
+    @property
+    def duration(self):
+        return self.t1 - self.t0
+
+    def to_dict(self):
+        data = {
+            "cat": self.cat,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "chiplet": self.chiplet,
+        }
+        if self.detail is not None:
+            data["detail"] = self.detail
+        return data
+
+    def __repr__(self):
+        return "Hop(%s:%s, [%.1f, %.1f], chiplet=%d)" % (
+            self.cat,
+            self.name,
+            self.t0,
+            self.t1,
+            self.chiplet,
+        )
+
+
+class Span:
+    """The hop-by-hop lifecycle of one translation request."""
+
+    __slots__ = (
+        "sid",
+        "vpn",
+        "origin",
+        "cu_id",
+        "t0",
+        "t_end",
+        "hops",
+        "outcome",
+        "merged",
+        "_mark",
+    )
+
+    def __init__(self, sid, vpn, origin, cu_id, t0):
+        self.sid = sid
+        self.vpn = vpn
+        self.origin = origin
+        self.cu_id = cu_id
+        self.t0 = t0
+        self.t_end = None
+        self.hops = []
+        self.outcome = None
+        self.merged = False
+        self._mark = t0  # scratch: last interesting timestamp
+
+    def add_hop(self, cat, name, t0, t1, chiplet, detail=None):
+        self.hops.append(Hop(cat, name, t0, t1, chiplet, detail))
+
+    @property
+    def latency(self):
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t0
+
+    @property
+    def categories(self):
+        return {hop.cat for hop in self.hops}
+
+    def to_dict(self):
+        return {
+            "sid": self.sid,
+            "vpn": self.vpn,
+            "origin": self.origin,
+            "cu": self.cu_id,
+            "t0": self.t0,
+            "t_end": self.t_end,
+            "latency": self.latency,
+            "outcome": self.outcome,
+            "merged": self.merged,
+            "hops": [hop.to_dict() for hop in self.hops],
+        }
+
+    def __repr__(self):
+        return "Span(sid=%d, vpn=%#x, origin=%d, hops=%d, outcome=%s)" % (
+            self.sid,
+            self.vpn,
+            self.origin,
+            len(self.hops),
+            self.outcome,
+        )

@@ -1,0 +1,257 @@
+"""Request-lifecycle tracing probe and its exporters.
+
+:class:`TraceProbe` materializes one :class:`~repro.obs.span.Span` per
+traced translation request and finalizes it when the response is sent
+back to the requesting CU.  Spans can be exported two ways:
+
+* :meth:`TraceProbe.write_jsonl` — one JSON object per span, the
+  analysis-friendly format;
+* :meth:`TraceProbe.write_chrome_trace` — Chrome trace-event JSON
+  (load in ``chrome://tracing`` or https://ui.perfetto.dev): each hop is
+  a complete (``"ph": "X"``) event whose *process* is the chiplet where
+  the work happened and whose *thread* is the requesting CU; balance
+  alerts/switches appear as global instant events.
+
+Timestamps are engine cycles reported in the trace's microsecond field
+(1 cycle == 1 us in the viewer).  Memory is bounded by ``max_spans``
+(further translations are counted in :attr:`TraceProbe.dropped`) and
+``sample_every`` traces only every N-th translation.
+"""
+
+import json
+
+from repro.obs.probe import Probe
+from repro.obs.span import Span
+
+
+class TraceProbe(Probe):
+    """Collects per-translation spans; see the module docstring."""
+
+    def __init__(self, sample_every=1, max_spans=20000):
+        super().__init__()
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.sample_every = sample_every
+        self.max_spans = max_spans
+        self.spans = []
+        self.markers = []  # (t, kind, detail) instant events
+        self.dropped = 0
+        self._seen = 0
+        self._created = 0
+        self._l1_latency = 0.0
+
+    def attach(self, sim):
+        super().attach(sim)
+        self._l1_latency = sim.params.l1_tlb_latency
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    def translation_start(self, req):
+        self._seen += 1
+        if self.sample_every > 1 and (self._seen - 1) % self.sample_every:
+            return
+        if self._created >= self.max_spans:
+            self.dropped += 1
+            return
+        self._created += 1
+        span = Span(
+            sid=self._created,
+            vpn=req.vpn,
+            origin=req.origin,
+            cu_id=req.cu.cu_id,
+            t0=req.t0 - self._l1_latency,
+        )
+        # The L1 lookup that produced this miss (duration: the L1 port
+        # latency; req.t0 is the moment the miss was detected).
+        span.add_hop(
+            "l1", "l1_miss", req.t0 - self._l1_latency, req.t0, req.origin
+        )
+        req.span = span
+
+    def route(self, req, src, dst, depart, arrive):
+        span = req.span
+        if span is None:
+            return
+        name = "route %d->%d" % (src, dst) if src != dst else "route local"
+        span.add_hop(
+            "route", name, depart, arrive, dst, {"src": src, "dst": dst}
+        )
+
+    def slice_arrive(self, req, chiplet):
+        span = req.span
+        if span is None:
+            return
+        span._mark = self.engine.now
+
+    def slice_lookup(self, req, chiplet, hit):
+        span = req.span
+        if span is None:
+            return
+        now = self.engine.now
+        span.add_hop(
+            "l2", "l2_hit" if hit else "l2_miss", span._mark, now, chiplet
+        )
+
+    def mshr_merge(self, req, chiplet):
+        span = req.span
+        if span is None:
+            return
+        span.merged = True
+        now = self.engine.now
+        span.add_hop("mshr", "mshr_merge", now, now, chiplet)
+
+    def mshr_stall(self, req, chiplet):
+        span = req.span
+        if span is None:
+            return
+        now = self.engine.now
+        span.add_hop("mshr", "mshr_park", now, now, chiplet)
+
+    def page_fault(self, vpn, chiplet):
+        self.markers.append((self.engine.now, "page_fault", chiplet))
+
+    # -- page-walk detail ------------------------------------------------------
+
+    def walk_start(self, record, chiplet):
+        record.hops = [
+            (
+                "walk",
+                "walker_grant",
+                record.t_request,
+                self.engine.now,
+                chiplet,
+                None,
+            )
+        ]
+
+    def walk_level(self, record, chiplet, level, remote, t0, t1):
+        hops = record.hops
+        if hops is None:
+            return
+        hops.append(
+            (
+                "walk",
+                "pte_L%d_%s" % (level, "remote" if remote else "local"),
+                t0,
+                t1,
+                chiplet,
+                {"level": level, "remote": remote},
+            )
+        )
+
+    # -- completion -------------------------------------------------------------
+
+    def respond(self, req, entry, walk, chiplet, arrive):
+        span = req.span
+        if span is None:
+            return
+        req.span = None
+        if walk is not None and not span.merged and walk.hops:
+            # Attach the walk's per-level PTE reads to its MSHR leader
+            # (merged waiters would get out-of-order timestamps).
+            for hop in walk.hops:
+                span.add_hop(*hop)
+        now = self.engine.now
+        span.add_hop("fill", "response", now, arrive, chiplet)
+        span.t_end = arrive
+        if walk is None:
+            span.outcome = (
+                "l2_hit_local" if chiplet == req.origin else "l2_hit_remote"
+            )
+        elif span.merged:
+            span.outcome = "walk_merged"
+        else:
+            span.outcome = "walk"
+        self.spans.append(span)
+
+    # -- balance markers ----------------------------------------------------------
+
+    def balance_alert(self, chiplet):
+        self.markers.append((self.engine.now, "balance_alert", chiplet))
+
+    def balance_switch(self, mode):
+        self.markers.append((self.engine.now, "balance_switch", mode))
+
+    # -- exporters -----------------------------------------------------------------
+
+    def chrome_events(self):
+        """The spans + markers as Chrome trace-event dicts."""
+        events = []
+        chiplets = set()
+        for span in self.spans:
+            for hop in span.hops:
+                chiplets.add(hop.chiplet)
+                event = {
+                    "name": hop.name,
+                    "cat": hop.cat,
+                    "ph": "X",
+                    "ts": hop.t0,
+                    "dur": hop.t1 - hop.t0,
+                    "pid": hop.chiplet,
+                    "tid": span.cu_id,
+                    "args": {"sid": span.sid, "vpn": "%#x" % span.vpn},
+                }
+                events.append(event)
+        for t, kind, detail in self.markers:
+            events.append(
+                {
+                    "name": "%s:%s" % (kind, detail),
+                    "cat": "balance",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": t,
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+        for chiplet in sorted(chiplets):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": chiplet,
+                    "tid": 0,
+                    "args": {"name": "chiplet %d" % chiplet},
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path):
+        """Write a ``chrome://tracing``-loadable JSON file."""
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "spans": len(self.spans),
+                "dropped": self.dropped,
+                "clock": "engine cycles (1 cycle = 1us in the viewer)",
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+    def write_jsonl(self, path):
+        """Write one JSON object per span (analysis-friendly)."""
+        with open(path, "w") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict()))
+                handle.write("\n")
+
+    # -- summaries ---------------------------------------------------------------
+
+    def categories(self):
+        """All hop categories present across collected spans."""
+        cats = set()
+        for span in self.spans:
+            cats.update(span.categories)
+        return cats
+
+    def summary(self):
+        return {
+            "spans": len(self.spans),
+            "dropped": self.dropped,
+            "markers": len(self.markers),
+            "categories": sorted(self.categories()),
+        }

@@ -95,8 +95,10 @@ class _WavefrontSlot:
             # Another wavefront on this CU already misses on the same
             # page; coalesce instead of issuing a duplicate request.
             waiters.append(self)
+            cu._probe_l1_coalesced(cu, vpn)
             return
         cu._pending_translations[vpn] = [self]
+        cu._probe_l1_miss(cu, vpn)
         cu.sim.translation.request(cu, vpn, t_after_l1, cu._translated_cb)
 
     def _data_access(self):
@@ -150,6 +152,8 @@ class ComputeUnit:
         "_active_slots",
         "_translated_cb",
         "_slots",
+        "_probe_l1_miss",
+        "_probe_l1_coalesced",
     )
 
     def __init__(self, simulator, cu_id, chiplet, params):
@@ -157,6 +161,12 @@ class ComputeUnit:
         self.engine = simulator.engine
         self.stats = simulator.stats
         self.geometry = simulator.geometry
+        # Observability: pre-bound hooks (no-ops when probes are off, so
+        # the hot path never branches on an "instrumentation enabled"
+        # flag; see repro.obs.probe).
+        probe = simulator.probe
+        self._probe_l1_miss = probe.l1_miss
+        self._probe_l1_coalesced = probe.l1_coalesced
         self.cu_id = cu_id
         self.chiplet = chiplet
         self.l1_tlb = TLB(params.l1_tlb_entries, name="l1tlb%d" % cu_id)

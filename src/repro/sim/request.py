@@ -14,6 +14,7 @@ class TranslationRequest:
         "hops",
         "forward_home",
         "cache_locally",
+        "span",
     )
 
     def __init__(self, vpn, va, origin, cu, t0, callback):
@@ -29,6 +30,10 @@ class TranslationRequest:
         # should be cached in the origin's slice.
         self.forward_home = None
         self.cache_locally = False
+        # Observability: the request-lifecycle span attached by a
+        # TraceProbe (None when tracing is off or the request is not
+        # sampled); see repro.obs.trace.
+        self.span = None
 
     def __repr__(self):
         return "TranslationRequest(vpn=%#x, origin=%d, t0=%.1f)" % (
@@ -51,6 +56,7 @@ class WalkRecord:
         "accesses_remote",
         "cycles_local",
         "cycles_remote",
+        "hops",
     )
 
     def __init__(self, vpn, t_request):
@@ -63,6 +69,9 @@ class WalkRecord:
         self.accesses_remote = 0
         self.cycles_local = 0.0
         self.cycles_remote = 0.0
+        # Observability: per-level hop tuples attached by a TraceProbe
+        # (None when tracing is off); see repro.obs.trace.
+        self.hops = None
 
     def add_access(self, remote, cycles):
         if remote:

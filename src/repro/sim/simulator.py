@@ -23,6 +23,7 @@ from repro.core.hsl import DynamicHSL
 from repro.driver.kernel_launch import launch_kernel
 from repro.mem.memory_system import MemorySystem
 from repro.engine.event_queue import Engine
+from repro.obs.probe import NULL_PROBE
 from repro.sim.cu import ComputeUnit
 from repro.sim.translation import TranslationSystem
 from repro.stats.counters import RunStats
@@ -156,11 +157,16 @@ def _traces_for(launch, seed):
 class Simulator:
     """One simulation run of one kernel under one VM design."""
 
-    def __init__(self, launch, params, seed=0, balance_params=None):
+    def __init__(self, launch, params, seed=0, balance_params=None, probe=None):
         self.launch = launch
         self.params = params
         self.geometry = launch.geometry
         self.engine = Engine()
+        # Observability: the probe every component pre-binds its hooks
+        # from.  NULL_PROBE's hooks are no-ops, so an uninstrumented run
+        # pays only a no-op bound-method call on the (rare) translation
+        # path and nothing at all per engine event (see repro.obs).
+        self.probe = probe if probe is not None else NULL_PROBE
         self.stats = RunStats(num_chiplets=params.num_chiplets)
         self.memory_system = MemorySystem(
             params.num_chiplets,
@@ -191,6 +197,7 @@ class Simulator:
                 params.num_chiplets,
                 params.link_latency,
                 params=balance_params,
+                probe=self.probe,
             )
 
         self.translation = TranslationSystem(
@@ -201,6 +208,7 @@ class Simulator:
             self.interconnect,
             self.stats,
             balance=self.balance,
+            probe=self.probe,
         )
 
         self.cus = [
@@ -210,6 +218,9 @@ class Simulator:
 
         self._build_traces(seed)
         self._live_slots = 0
+        # Hand the probe the finished machine (engine clock + component
+        # references) once everything it may want to sample exists.
+        self.probe.attach(self)
 
     def _build_traces(self, seed):
         launch = self.launch
@@ -235,13 +246,19 @@ class Simulator:
         if self.balance is not None:
             stats.balance_alerts = self.balance.alerts
             stats.balance_switches = list(self.balance.switch_events)
+        self.probe.run_finished(stats)
         return stats
 
 
-def simulate(kernel, params, design, seed=0, balance_params=None):
-    """Launch ``kernel`` under ``design`` and run it to completion."""
+def simulate(kernel, params, design, seed=0, balance_params=None, probe=None):
+    """Launch ``kernel`` under ``design`` and run it to completion.
+
+    ``probe`` attaches an observability probe (e.g.
+    :class:`repro.obs.TraceProbe` or :class:`repro.obs.MetricsRecorder`)
+    to the run; ``None`` leaves instrumentation disabled.
+    """
     launch = launch_kernel(kernel, params, design)
     simulator = Simulator(
-        launch, params, seed=seed, balance_params=balance_params
+        launch, params, seed=seed, balance_params=balance_params, probe=probe
     )
     return simulator.run()

@@ -32,6 +32,10 @@ class L2TLBSlice:
         "port",
         "lookup_latency",
         "mshr",
+        "probe",
+        "_probe_arrive",
+        "_probe_lookup",
+        "_probe_respond",
     )
 
     def __init__(self, system, chiplet, params):
@@ -44,7 +48,15 @@ class L2TLBSlice:
         )
         self.port = Timeline(params.l2_tlb_port_interval)
         self.lookup_latency = params.l2_tlb_latency
-        self.mshr = MSHRFile(params.l2_tlb_mshrs, name="l2mshr%d" % chiplet)
+        # Observability hooks (pre-bound no-ops when probes are off).
+        probe = system.probe
+        self.probe = probe
+        self._probe_arrive = probe.slice_arrive
+        self._probe_lookup = probe.slice_lookup
+        self._probe_respond = probe.respond
+        self.mshr = MSHRFile(
+            params.l2_tlb_mshrs, name="l2mshr%d" % chiplet, probe=probe
+        )
 
     # -- request intake --------------------------------------------------------
 
@@ -52,6 +64,7 @@ class L2TLBSlice:
         """A translation request arrives at this slice."""
         if req.origin != self.chiplet:
             self.stats.per_chiplet_incoming[self.chiplet] += 1
+        self._probe_arrive(req, self.chiplet)
         start = self.port.reserve(self.engine.now)
         self.engine.at(
             start + self.lookup_latency, lambda: self._lookup_done(req)
@@ -60,6 +73,7 @@ class L2TLBSlice:
     def _lookup_done(self, req):
         entry = self.tlb.lookup(req.vpn)
         system = self.system
+        self._probe_lookup(req, self.chiplet, entry is not None)
         if system.balance is not None:
             system.balance.note_slice_access(
                 self.chiplet, entry is not None, system.coarse_home(req.va)
@@ -87,6 +101,7 @@ class L2TLBSlice:
                 # (asynchronous switch in flight): re-route.
                 req.hops += 1
                 self.stats.reroutes += 1
+                self.probe.reroute(req, self.chiplet, owner)
                 system.forward(req, self.chiplet, owner)
                 return
 
@@ -98,11 +113,13 @@ class L2TLBSlice:
         self.stats.l2_miss_requests += 1
         if self.mshr.merge(req.vpn, req):
             self.stats.mshr_merges += 1
+            self.probe.mshr_merge(req, self.chiplet)
             return
         if not self.mshr.allocate(req.vpn, req):
             # MSHR full: the miss cannot be serviced yet (paper: "no new
             # TLB misses can be served").
             self.stats.mshr_stalls += 1
+            self.probe.mshr_stall(req, self.chiplet)
             self.mshr.park(req)
             return
         self._start_walk(req.vpn)
@@ -114,6 +131,7 @@ class L2TLBSlice:
             # Demand paging (UVM): resolve the GPU page fault first, then
             # walk.  The handler places the data page and homes any new
             # page-table pages (Section VII of the paper).
+            self.probe.page_fault(vpn, self.chiplet)
             self.stats.page_faults += 1
             self.stats.fault_cycles += system.fault_latency
             handler.handle(vpn, self.chiplet)
@@ -148,6 +166,7 @@ class L2TLBSlice:
             # Re-admit one parked miss now that an MSHR entry is free.
             if self.mshr.merge(parked.vpn, parked):
                 self.stats.mshr_merges += 1
+                self.probe.mshr_merge(parked, self.chiplet)
             elif self.mshr.allocate(parked.vpn, parked):
                 self._start_walk(parked.vpn)
             else:
@@ -160,6 +179,7 @@ class L2TLBSlice:
         arrive = system.interconnect.traverse(
             self.chiplet, req.origin, self.engine.now, kind="translation"
         )
+        self._probe_respond(req, entry, walk, self.chiplet, arrive)
         latency = arrive - req.t0
         stats = self.stats
         if walk is None:

@@ -7,6 +7,7 @@ home slice across the interconnect.
 """
 
 from repro.core.hsl import DynamicHSL
+from repro.obs.probe import NULL_PROBE
 from repro.sim.request import TranslationRequest
 from repro.sim.slice import L2TLBSlice
 from repro.sim.walkers import WalkerPool
@@ -24,6 +25,7 @@ class TranslationSystem:
         interconnect,
         stats,
         balance=None,
+        probe=NULL_PROBE,
     ):
         self.engine = engine
         self.launch = launch
@@ -38,6 +40,10 @@ class TranslationSystem:
         self.balance = balance
         self.fault_handler = launch.fault_handler
         self.fault_latency = params.fault_latency
+        # Observability hooks (pre-bound no-ops when probes are off).
+        self.probe = probe
+        self._probe_start = probe.translation_start
+        self._probe_route = probe.route
         self.slices = [
             L2TLBSlice(self, chiplet, params)
             for chiplet in range(params.num_chiplets)
@@ -52,6 +58,7 @@ class TranslationSystem:
                 num_walkers=params.num_walkers,
                 pwc_entries=params.pwc_entries,
                 pwc_latency=params.pwc_latency,
+                probe=probe,
             )
             for chiplet in range(params.num_chiplets)
         ]
@@ -67,6 +74,7 @@ class TranslationSystem:
         va = vpn * self.geometry.page_size
         origin = cu.chiplet
         req = TranslationRequest(vpn, va, origin, cu, t, callback)
+        self._probe_start(req)
 
         if self.dynamic_hsl is not None:
             home = self.dynamic_hsl.home(va, origin, component=(origin, "cu"))
@@ -87,6 +95,7 @@ class TranslationSystem:
             self.balance.note_routed(origin, target)
 
         arrive = self.interconnect.traverse(origin, target, t, kind="translation")
+        self._probe_route(req, origin, target, t, arrive)
         slice_ = self.slices[target]
         self.engine.at(arrive, lambda: slice_.receive(req))
 
@@ -97,5 +106,6 @@ class TranslationSystem:
         arrive = self.interconnect.traverse(
             src, dst, self.engine.now, kind="translation"
         )
+        self._probe_route(req, src, dst, self.engine.now, arrive)
         slice_ = self.slices[dst]
         self.engine.at(arrive, lambda: slice_.receive(req))

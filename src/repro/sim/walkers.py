@@ -9,6 +9,7 @@ L2 data caches and cross the interconnect when remote.
 """
 
 from repro.engine.resources import TokenPool
+from repro.obs.probe import NULL_PROBE
 from repro.sim.request import WalkRecord
 from repro.vm.walk_cache import PageWalkCache
 
@@ -27,6 +28,9 @@ class WalkerPool:
         "pwc_latency",
         "walks_started",
         "walks_completed",
+        "_probe_walk_start",
+        "_probe_walk_level",
+        "_probe_walk_done",
     )
 
     def __init__(
@@ -39,6 +43,7 @@ class WalkerPool:
         num_walkers=16,
         pwc_entries=32,
         pwc_latency=10.0,
+        probe=NULL_PROBE,
     ):
         self.engine = engine
         self.chiplet = chiplet
@@ -50,6 +55,10 @@ class WalkerPool:
         self.pwc_latency = pwc_latency
         self.walks_started = 0
         self.walks_completed = 0
+        # Observability hooks (pre-bound no-ops when probes are off).
+        self._probe_walk_start = probe.walk_start
+        self._probe_walk_level = probe.walk_level
+        self._probe_walk_done = probe.walk_done
 
     def walk(self, vpn, on_done):
         """Queue a walk; ``on_done(record)`` fires when it completes."""
@@ -59,6 +68,7 @@ class WalkerPool:
     def _granted(self, record, on_done):
         record.t_start = self.engine.now
         self.walks_started += 1
+        self._probe_walk_start(record, self.chiplet)
         record.start_level = self.pwc.first_level_to_fetch(
             self.geometry, record.vpn
         )
@@ -81,6 +91,9 @@ class WalkerPool:
             self.chiplet, home, line, self.engine.now, kind="pte"
         )
         record.add_access(remote, done - self.engine.now)
+        self._probe_walk_level(
+            record, self.chiplet, level, remote, self.engine.now, done
+        )
         if level > 1:
             self.engine.at(
                 done, lambda: self._fetch_level(record, level - 1, on_done)
@@ -92,5 +105,6 @@ class WalkerPool:
         record.t_done = self.engine.now
         self.pwc.fill(self.geometry, record.vpn, record.start_level)
         self.walks_completed += 1
+        self._probe_walk_done(record, self.chiplet)
         self.tokens.release()
         on_done(record)

@@ -7,6 +7,8 @@ CSV, then emit a normalized CSV whose columns match the figures.
 
 import csv
 
+from repro.stats.report import normalize_to
+
 RAW_FIELDS = [
     "workload",
     "design",
@@ -15,9 +17,15 @@ RAW_FIELDS = [
     "l2_hit_rate",
     "local_hit_fraction",
     "pw_remote_fraction",
+    "data_remote_fraction",
     "avg_walk_latency",
     "walks",
     "balance_switches",
+    # Figure-4 L1-miss cycle buckets (RunRecord.breakdown).
+    "cycles_local_hit",
+    "cycles_remote_hit",
+    "cycles_pw_local",
+    "cycles_pw_remote",
 ]
 
 
@@ -27,6 +35,7 @@ def write_raw_csv(records, path):
         writer = csv.writer(handle)
         writer.writerow(RAW_FIELDS)
         for record in records:
+            breakdown = record.breakdown or {}
             writer.writerow(
                 [
                     record.workload,
@@ -36,9 +45,14 @@ def write_raw_csv(records, path):
                     "%.4f" % record.l2_hit_rate,
                     "%.4f" % record.local_hit_fraction,
                     "%.4f" % record.pw_remote_fraction,
+                    "%.4f" % record.data_remote_fraction,
                     "%.2f" % record.avg_walk_latency,
                     record.walks,
                     record.balance_switches,
+                    "%.1f" % breakdown.get("local_hit", 0.0),
+                    "%.1f" % breakdown.get("remote_hit", 0.0),
+                    "%.1f" % breakdown.get("pw_local", 0.0),
+                    "%.1f" % breakdown.get("pw_remote", 0.0),
                 ]
             )
 
@@ -68,7 +82,13 @@ def write_normalized_csv(records, path, baseline_design="private"):
                 if record is None:
                     row.append("")
                 else:
-                    row.append("%.6f" % (record.throughput / base.throughput))
+                    # A zero-throughput baseline makes the ratio
+                    # undefined; emit nan (normalize_to's convention)
+                    # instead of crashing or writing a bogus 0/inf.
+                    ratios = normalize_to(
+                        [record.throughput], [base.throughput]
+                    )
+                    row.append("%.6f" % ratios[0])
             writer.writerow(row)
 
 

@@ -9,12 +9,21 @@ import math
 
 
 def geomean(values):
-    """Geometric mean of positive values (paper's 'Gmean' columns)."""
+    """Geometric mean of positive values (paper's 'Gmean' columns).
+
+    Raises :class:`ValueError` naming the offending element (index and
+    value) so a bad normalization upstream — a zero-throughput run, a
+    nan from a missing baseline — is diagnosable from the message alone.
+    """
     values = [v for v in values]
     if not values:
         raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
+    for index, v in enumerate(values):
+        if not (v > 0) or math.isinf(v):
+            raise ValueError(
+                "geomean requires positive finite values; got %r at "
+                "index %d of %d" % (v, index, len(values))
+            )
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

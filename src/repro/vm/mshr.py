@@ -9,6 +9,8 @@ overflow queue until an entry frees up.
 
 from collections import deque
 
+from repro.obs.probe import NULL_PROBE
+
 
 class MSHRFile:
     """Tracks outstanding misses keyed by VPN, with an overflow queue."""
@@ -22,9 +24,10 @@ class MSHRFile:
         "merges",
         "stall_events",
         "peak_occupancy",
+        "_probe_occupancy",
     )
 
-    def __init__(self, capacity, name="mshr"):
+    def __init__(self, capacity, name="mshr", probe=NULL_PROBE):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -35,6 +38,9 @@ class MSHRFile:
         self.merges = 0
         self.stall_events = 0
         self.peak_occupancy = 0
+        # Observability hook (pre-bound no-op when probes are off):
+        # called with the live entry count on allocate and retire.
+        self._probe_occupancy = probe.mshr_occupancy
 
     def __len__(self):
         return len(self._entries)
@@ -66,6 +72,7 @@ class MSHRFile:
         self.allocations += 1
         if len(self._entries) > self.peak_occupancy:
             self.peak_occupancy = len(self._entries)
+        self._probe_occupancy(self.name, len(self._entries))
         return True
 
     def complete(self, vpn):
@@ -73,6 +80,7 @@ class MSHRFile:
         waiters = self._entries.pop(vpn, None)
         if waiters is None:
             raise KeyError("no MSHR entry for vpn %#x" % vpn)
+        self._probe_occupancy(self.name, len(self._entries))
         return waiters
 
     # -- overflow queue ------------------------------------------------------

@@ -112,11 +112,46 @@ class TestExport:
         write_raw_csv(records, str(raw))
         rows = read_csv(str(raw))
         assert rows[0]["workload"] == "GUPS"
+        # Data-path locality and the Figure-4 cycle buckets ride along.
+        assert 0.0 <= float(rows[0]["data_remote_fraction"]) <= 1.0
+        buckets = [
+            "cycles_local_hit",
+            "cycles_remote_hit",
+            "cycles_pw_local",
+            "cycles_pw_remote",
+        ]
+        for bucket in buckets:
+            assert float(rows[0][bucket]) >= 0.0
+        assert sum(float(rows[0][b]) for b in buckets) > 0.0
 
         norm = tmp_path / "norm.csv"
         write_normalized_csv(records, str(norm))
         rows = read_csv(str(norm))
         assert float(rows[0]["private"]) == 1.0
+
+    def test_normalized_zero_baseline_emits_nan(self, tmp_path):
+        import math
+
+        from repro.experiments.runner import RunRecord
+        from repro.stats.export import read_csv, write_normalized_csv
+
+        def rec(design_name, throughput):
+            return RunRecord(
+                workload="W", design=design_name, throughput=throughput,
+                mpki=0.0, instructions=0, cycles=0.0, l2_hits_local=0,
+                l2_hits_remote=0, walks=0, pw_local=0, pw_remote=0,
+                avg_walk_latency=0.0, l2_hit_rate=0.0, balance_switches=0,
+                data_remote_fraction=0.0,
+            )
+
+        out = tmp_path / "norm.csv"
+        write_normalized_csv(
+            [rec("private", 0.0), rec("mgvm", 1.0)],
+            str(out),
+            baseline_design="private",
+        )
+        rows = read_csv(str(out))
+        assert math.isnan(float(rows[0]["mgvm"]))
 
     def test_normalized_requires_baseline(self, tmp_path):
         from repro.experiments.runner import ExperimentRunner

@@ -1,0 +1,278 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the tentpole guarantees:
+
+* span lifecycle: ordered, timestamp-monotonic hops from L1 miss to fill;
+* Chrome trace-event export: schema-valid JSON with >= 4 hop categories;
+* epoch metrics: the recorder sees every balance switch RunStats reports;
+* zero overhead: probe-disabled stats identical to probe-absent stats;
+* the ``repro trace`` CLI end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.balance import BalanceParams
+from repro.core.config import design
+from repro.obs import (
+    NULL_PROBE,
+    MetricsRecorder,
+    MultiProbe,
+    Probe,
+    TraceProbe,
+)
+from repro.sim.simulator import simulate
+from repro.workloads.registry import build_kernel
+
+# BalanceParams that make SYR2 switch fine->coarse within a smoke run
+# (the defaults never trip at smoke scale).
+SWITCHY = dict(epoch_length=250, share_threshold=0.4, hit_rate_threshold=0.2)
+
+
+def _traced_run(workload="GUPS", design_name="mgvm", **probe_kwargs):
+    kernel = build_kernel(workload, scale="smoke")
+    params = scaled_params("smoke")
+    probe = TraceProbe(**probe_kwargs)
+    stats = simulate(kernel, params, design(design_name), probe=probe)
+    return probe, stats
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return _traced_run()
+
+
+class TestSpanLifecycle:
+    def test_spans_collected(self, traced):
+        probe, stats = traced
+        assert probe.spans
+        assert probe.dropped == 0
+
+    def test_hops_monotonic_and_complete(self, traced):
+        probe, _ = traced
+        for span in probe.spans:
+            assert span.hops, "span without hops"
+            assert span.hops[0].cat == "l1"
+            assert span.hops[-1].cat == "fill"
+            assert span.outcome is not None
+            assert span.t_end is not None and span.t_end >= span.t0
+            assert span.latency > 0
+            prev = span.hops[0]
+            for hop in span.hops:
+                assert hop.t1 >= hop.t0, "hop ends before it starts"
+                assert hop.t0 >= prev.t0 - 1e-9, (
+                    "hop timestamps regressed: %r after %r" % (hop, prev)
+                )
+                prev = hop
+
+    def test_at_least_four_hop_categories(self, traced):
+        probe, _ = traced
+        assert len(probe.categories()) >= 4
+        assert {"l1", "route", "l2", "fill"} <= probe.categories()
+
+    def test_walk_detail_on_leader_spans_only(self, traced):
+        probe, _ = traced
+        walk_spans = [s for s in probe.spans if s.outcome == "walk"]
+        merged_spans = [s for s in probe.spans if s.outcome == "walk_merged"]
+        assert walk_spans, "no page-walk spans traced"
+        for span in walk_spans:
+            walk_hops = [h for h in span.hops if h.cat == "walk"]
+            assert walk_hops, "walk span lacks walk hops"
+            # Per-level PTE reads carry their locality tag.
+            assert any(h.name.startswith("pte_L") for h in walk_hops)
+        for span in merged_spans:
+            assert not any(h.cat == "walk" for h in span.hops)
+            assert any(h.cat == "mshr" for h in span.hops)
+
+    def test_span_count_matches_outcomes(self, traced):
+        probe, stats = traced
+        hits = sum(
+            1 for s in probe.spans if s.outcome.startswith("l2_hit")
+        )
+        walks = sum(1 for s in probe.spans if s.outcome == "walk")
+        assert hits == stats.l2_hits_local + stats.l2_hits_remote
+        assert walks == stats.walks
+
+    def test_sampling_reduces_spans(self):
+        full, _ = _traced_run()
+        sampled, _ = _traced_run(sample_every=4)
+        assert 0 < len(sampled.spans) < len(full.spans)
+
+    def test_max_spans_caps_memory(self):
+        probe, _ = _traced_run(max_spans=100)
+        assert len(probe.spans) <= 100
+        assert probe.dropped > 0
+
+
+class TestChromeTrace:
+    def test_chrome_trace_schema(self, traced, tmp_path):
+        probe, _ = traced
+        out = tmp_path / "trace.json"
+        probe.write_chrome_trace(str(out))
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            for key in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+                assert key in event
+            assert event["dur"] >= 0
+        cats = {e["cat"] for e in complete}
+        assert len(cats) >= 4
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {e["pid"] for e in complete}
+        assert payload["otherData"]["spans"] == len(probe.spans)
+
+    def test_jsonl_roundtrip(self, traced, tmp_path):
+        probe, _ = traced
+        out = tmp_path / "spans.jsonl"
+        probe.write_jsonl(str(out))
+        lines = out.read_text().splitlines()
+        assert len(lines) == len(probe.spans)
+        first = json.loads(lines[0])
+        assert first["hops"][0]["cat"] == "l1"
+        assert first["latency"] == pytest.approx(
+            first["t_end"] - first["t0"]
+        )
+
+
+class TestMetricsRecorder:
+    def test_sampled_rows_cover_all_chiplets(self):
+        kernel = build_kernel("GUPS", scale="smoke")
+        params = scaled_params("smoke")
+        recorder = MetricsRecorder(sample_every=500)
+        simulate(kernel, params, design("mgvm"), probe=recorder)
+        assert recorder.rows
+        chiplets = {row["chiplet"] for row in recorder.rows}
+        assert chiplets == set(range(params.num_chiplets))
+        kinds = {row["event"] for row in recorder.rows}
+        assert {"sample", "epoch", "final"} <= kinds
+        for row in recorder.rows:
+            assert 0.0 <= row["hit_rate"] <= 1.0
+            assert row["walk_queue_depth"] >= 0
+
+    def test_recorder_sees_every_balance_switch(self, tmp_path):
+        kernel = build_kernel("SYR2", scale="smoke")
+        params = scaled_params("smoke")
+        recorder = MetricsRecorder(sample_every=1000)
+        stats = simulate(
+            kernel,
+            params,
+            design("mgvm"),
+            balance_params=BalanceParams(**SWITCHY),
+            probe=recorder,
+        )
+        assert stats.balance_switches, "scenario no longer switches"
+        assert recorder.switches == list(stats.balance_switches)
+        # And the CSV carries a switch row (per chiplet) for each event.
+        out = tmp_path / "metrics.csv"
+        recorder.write_csv(str(out))
+        import csv as _csv
+
+        with open(out) as handle:
+            rows = list(_csv.DictReader(handle))
+        switch_rows = [r for r in rows if r["event"] == "switch"]
+        seen = {(float(r["t"]), r["mode"]) for r in switch_rows}
+        assert seen == set(stats.balance_switches)
+        assert len(switch_rows) == len(stats.balance_switches) * (
+            params.num_chiplets
+        )
+
+    def test_trace_probe_marks_switches(self):
+        kernel = build_kernel("SYR2", scale="smoke")
+        params = scaled_params("smoke")
+        probe = TraceProbe()
+        stats = simulate(
+            kernel,
+            params,
+            design("mgvm"),
+            balance_params=BalanceParams(**SWITCHY),
+            probe=probe,
+        )
+        marks = [m for m in probe.markers if m[1] == "balance_switch"]
+        assert [(t, mode) for t, _, mode in marks] == list(
+            stats.balance_switches
+        )
+
+
+class TestZeroOverhead:
+    def test_null_probe_stats_equal_probe_absent(self):
+        kernel = build_kernel("GUPS", scale="smoke")
+        params = scaled_params("smoke")
+        bare = simulate(kernel, params, design("mgvm"))
+        nulled = simulate(kernel, params, design("mgvm"), probe=NULL_PROBE)
+        assert bare.summary() == nulled.summary()
+        assert bare.miss_cycle_breakdown == nulled.miss_cycle_breakdown
+
+    def test_instrumented_stats_equal_uninstrumented(self):
+        kernel = build_kernel("GUPS", scale="smoke")
+        params = scaled_params("smoke")
+        bare = simulate(kernel, params, design("mgvm"))
+        probe = MultiProbe([TraceProbe(), MetricsRecorder()])
+        traced = simulate(kernel, params, design("mgvm"), probe=probe)
+        assert bare.summary() == traced.summary()
+
+    def test_probe_base_hooks_are_noops(self):
+        probe = Probe()
+        # Every hook must be callable with representative arguments and
+        # return None — components pre-bind them unconditionally.
+        assert probe.l1_miss(None, 0) is None
+        assert probe.route(None, 0, 1, 0.0, 1.0) is None
+        assert probe.slice_lookup(None, 0, True) is None
+        assert probe.mshr_occupancy("m", 1) is None
+        assert probe.walk_level(None, 0, 4, False, 0.0, 1.0) is None
+        assert probe.rtu_epoch(0, 1, 2, False) is None
+        assert probe.balance_switch("fine") is None
+        assert probe.run_finished(None) is None
+
+
+class TestTraceCLI:
+    def test_trace_command_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.csv"
+        assert (
+            main(
+                [
+                    "trace",
+                    "gups",  # case-insensitive workload lookup
+                    "mgvm",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(out),
+                    "--metrics-csv",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        cats = {
+            e["cat"]
+            for e in payload["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert len(cats) >= 4
+        assert metrics.exists()
+        assert "hop categories" in capsys.readouterr().out
+
+    def test_trace_command_rejects_unknown_workload(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "trace",
+                    "nosuch",
+                    "mgvm",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )

@@ -79,6 +79,14 @@ class TestReport:
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
 
+    def test_geomean_error_names_offending_value(self):
+        with pytest.raises(ValueError, match=r"0\.0 at index 2 of 4"):
+            geomean([1.0, 2.0, 0.0, 3.0])
+        with pytest.raises(ValueError, match="nan"):
+            geomean([1.0, float("nan")])
+        with pytest.raises(ValueError, match="index 0"):
+            geomean([float("inf")])
+
     @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
     def test_geomean_between_min_and_max(self, values):
         g = geomean(values)
