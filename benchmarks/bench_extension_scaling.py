@@ -1,0 +1,161 @@
+"""Design-scaling sweep: chiplet counts x fabric topologies x designs.
+
+Runs the ``repro figure scaling`` sweep end-to-end — {2, 4, 8} chiplets
+x {all-to-all, ring} fabrics x {private, shared, mgvm} designs over the
+representative benchmark workload subset — and checks the paper's
+Section VII claim on the results: translation locality matters *more*
+as the package grows, so MGvm's throughput advantage over the shared
+baseline must
+
+* grow with the chiplet count on each topology, and
+* be larger on the multi-hop ring than on the idealized all-to-all
+  crossbar at the largest machine (remote lookups cost more hops there).
+
+The sweep itself is deterministic (fixed seed), so the assertions are on
+exact simulated results, not timing; margins below only guard against
+future modeling changes shifting the numbers slightly without breaking
+the trend.
+
+Run directly for a JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_extension_scaling.py
+
+with ``--check`` to exit non-zero when a claim fails (what CI does), or
+collect it with pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_extension_scaling.py
+
+``REPRO_BENCH_SCALE``/``REPRO_BENCH_JOBS`` work as for the other
+benchmarks (the check thresholds are calibrated at ``smoke``).
+"""
+
+import json
+import math
+import os
+import sys
+
+from repro.experiments.figures import extension_scaling
+from repro.experiments.runner import ExperimentRunner
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
+
+# The same representative subset benchmarks/conftest.py uses: one
+# workload per regime (streaming NL, RCL, random thrash, graph).
+WORKLOADS = ["J1D", "MT", "GUPS", "SPMV", "MIS", "SYRK"]
+
+CHIPLETS = [2, 4, 8]
+TOPOLOGIES = ["all-to-all", "ring"]
+DESIGNS = ["private", "shared", "mgvm"]
+
+# The advantage trend must hold with this much slack (the measured gaps
+# at smoke scale are 4-18x larger, so this only absorbs modeling drift).
+TREND_SLACK = 0.005
+
+
+def measure(runner=None):
+    """Run the sweep and return per-config gmeans + the trend report."""
+    if runner is None:
+        runner = ExperimentRunner(scale=BENCH_SCALE, workers=BENCH_JOBS or None)
+    result = extension_scaling(
+        runner,
+        workloads=WORKLOADS,
+        chiplets=CHIPLETS,
+        topologies=TOPOLOGIES,
+        designs=DESIGNS,
+    )
+    configs = {}
+    for row in result.rows:
+        topo, count = row[0], row[1]
+        means = dict(zip(DESIGNS, row[2 : 2 + len(DESIGNS)]))
+        configs["%s/%d" % (topo, count)] = {
+            "topology": topo,
+            "chiplets": count,
+            "gmeans": {d: round(v, 4) for d, v in means.items()},
+            "advantage": round(row[2 + len(DESIGNS)], 4),
+            "avg_hops": round(row[3 + len(DESIGNS)], 4),
+        }
+    return {
+        "scale": BENCH_SCALE,
+        "workloads": WORKLOADS,
+        "configs": configs,
+        "text": result.text(),
+    }
+
+
+def check(report):
+    """Human-readable failures of the scaling claims (empty = OK)."""
+    problems = []
+    configs = report["configs"]
+    expected = len(CHIPLETS) * len(TOPOLOGIES)
+    if len(configs) != expected:
+        problems.append(
+            "expected %d configs, got %d" % (expected, len(configs))
+        )
+        return problems
+    for key, cfg in configs.items():
+        for design_name, value in cfg["gmeans"].items():
+            if not math.isfinite(value) or value <= 0:
+                problems.append(
+                    "%s: non-finite %s gmean %r" % (key, design_name, value)
+                )
+    if problems:
+        return problems
+    advantage = lambda topo, count: configs["%s/%d" % (topo, count)][
+        "advantage"
+    ]
+    hops = lambda topo, count: configs["%s/%d" % (topo, count)]["avg_hops"]
+    for topo in TOPOLOGIES:
+        low, high = CHIPLETS[0], CHIPLETS[-1]
+        if advantage(topo, high) <= advantage(topo, low) + TREND_SLACK:
+            problems.append(
+                "%s: MGvm advantage did not grow with chiplet count "
+                "(%d chiplets: %.4f vs %d chiplets: %.4f)"
+                % (topo, high, advantage(topo, high), low, advantage(topo, low))
+            )
+    big = CHIPLETS[-1]
+    if advantage("ring", big) <= advantage("all-to-all", big) + TREND_SLACK:
+        problems.append(
+            "multi-hop ring should amplify MGvm's advantage at %d chiplets "
+            "(ring %.4f vs all-to-all %.4f)"
+            % (big, advantage("ring", big), advantage("all-to-all", big))
+        )
+    # Hop accounting sanity: the all-to-all is single-hop, the ring's
+    # mean routed distance must grow with its diameter.
+    for count in CHIPLETS:
+        if hops("all-to-all", count) > 1.0:
+            problems.append(
+                "all-to-all avg hops > 1 at %d chiplets (%.4f)"
+                % (count, hops("all-to-all", count))
+            )
+    if not hops("ring", 8) > hops("ring", 4) > hops("ring", 2) - 1e-9:
+        problems.append(
+            "ring avg hops should grow with chiplet count (2/4/8: "
+            "%.4f / %.4f / %.4f)"
+            % (hops("ring", 2), hops("ring", 4), hops("ring", 8))
+        )
+    return problems
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_scaling_sweep_claims(runner, benchmark, capsys):
+    report = benchmark.pedantic(
+        lambda: measure(runner=runner), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(report["text"])
+    assert not check(report), "; ".join(check(report))
+
+
+if __name__ == "__main__":
+    report = measure()
+    print(report.pop("text"))
+    print(json.dumps(report, indent=2))
+    if "--check" in sys.argv[1:]:
+        failures = check(report)
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        sys.exit(1 if failures else 0)

@@ -2,5 +2,25 @@
 
 from repro.arch.params import GPUParams, scaled_params
 from repro.arch.interconnect import Interconnect
+from repro.arch.topology import (
+    AllToAllTopology,
+    DualPackageTopology,
+    MeshTopology,
+    RingTopology,
+    Topology,
+    build_topology,
+    topology_names,
+)
 
-__all__ = ["GPUParams", "scaled_params", "Interconnect"]
+__all__ = [
+    "GPUParams",
+    "scaled_params",
+    "Interconnect",
+    "Topology",
+    "AllToAllTopology",
+    "RingTopology",
+    "MeshTopology",
+    "DualPackageTopology",
+    "build_topology",
+    "topology_names",
+]

@@ -54,6 +54,15 @@ class GPUParams:
     # directed link) to enable it for sensitivity studies.
     link_latency: float = 32.0
     link_issue_interval: float = 0.0
+    # Fabric shape: one of repro.arch.topology.TOPOLOGIES ("all-to-all",
+    # "ring", "mesh", "dual-package").  The default all-to-all reproduces
+    # the paper's package exactly (every remote path is one hop of
+    # link_latency).  inter_package_latency is the latency of the single
+    # inter-package link of the "dual-package" topology (the link leaves
+    # the interposer, so it is several times slower than an in-package
+    # hop); it is ignored by the single-package topologies.
+    topology: str = "all-to-all"
+    inter_package_latency: float = 96.0
 
     # Virtual memory
     page_size: int = 4 * KB

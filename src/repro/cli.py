@@ -24,6 +24,7 @@ import math
 import sys
 
 from repro.arch.params import SCALES, scaled_params
+from repro.arch.topology import topology_names
 from repro.core.config import DESIGNS, design
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import ExperimentRunner
@@ -85,6 +86,49 @@ def _add_logging(parser):
     )
 
 
+def _add_geometry(parser):
+    """Machine-geometry knobs (chiplet count and fabric topology)."""
+    parser.add_argument(
+        "--chiplets",
+        type=int,
+        help="number of chiplets (default: the scale's machine, 4)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=topology_names(),
+        help="inter-chiplet fabric topology (default: all-to-all)",
+    )
+    parser.add_argument(
+        "--link-latency",
+        type=float,
+        help="per-hop fabric link latency in cycles (default: 32)",
+    )
+    parser.add_argument(
+        "--inter-package-latency",
+        type=float,
+        help="inter-package link latency in cycles "
+        "(dual-package topology only; default: 96)",
+    )
+
+
+def _geometry_overrides(args):
+    """The GPUParams overrides implied by the geometry flags (or {})."""
+    overrides = {}
+    if getattr(args, "chiplets", None) is not None:
+        if args.chiplets < 2:
+            raise SystemExit("--chiplets must be >= 2")
+        overrides["num_chiplets"] = args.chiplets
+    if getattr(args, "topology", None) is not None:
+        overrides["topology"] = args.topology
+    if getattr(args, "link_latency", None) is not None:
+        if args.link_latency <= 0:
+            raise SystemExit("--link-latency must be positive")
+        overrides["link_latency"] = args.link_latency
+    if getattr(args, "inter_package_latency", None) is not None:
+        overrides["inter_package_latency"] = args.inter_package_latency
+    return overrides
+
+
 def _add_jobs(parser):
     parser.add_argument(
         "--jobs",
@@ -114,7 +158,10 @@ def cmd_run(args):
     runner = ExperimentRunner(
         scale=args.scale, seed=args.seed, workers=args.jobs
     )
-    grid = runner.run_matrix([args.workload], args.designs)
+    overrides = _geometry_overrides(args)
+    grid = runner.run_matrix(
+        [args.workload], args.designs, overrides=overrides or None
+    )
     rows = []
     baseline = None
     for name in args.designs:
@@ -135,9 +182,12 @@ def cmd_run(args):
                 record.l2_hit_rate,
                 record.local_hit_fraction,
                 record.pw_remote_fraction,
+                record.avg_translation_hops,
                 record.balance_switches,
             ]
         )
+    if overrides:
+        log.info("geometry overrides: %s", overrides)
     print(
         format_table(
             [
@@ -147,6 +197,7 @@ def cmd_run(args):
                 "l2_hit",
                 "local_hit",
                 "pw_remote",
+                "avg_hops",
                 "switches",
             ],
             rows,
@@ -180,7 +231,11 @@ def cmd_sweep(args):
         verbose=True,
         workers=args.jobs,
     ) as runner:
-        grid = runner.run_matrix(workloads, args.designs)
+        grid = runner.run_matrix(
+            workloads,
+            args.designs,
+            overrides=_geometry_overrides(args) or None,
+        )
     records = [
         grid[(workload, design_name)]
         for workload in workloads
@@ -196,7 +251,7 @@ def cmd_sweep(args):
 def cmd_trace(args):
     workload = _resolve_workload(args.workload)
     kernel = build_kernel(workload, scale=args.scale)
-    params = scaled_params(args.scale)
+    params = scaled_params(args.scale, **_geometry_overrides(args))
     tracer = TraceProbe(
         sample_every=args.sample_every, max_spans=args.max_spans
     )
@@ -256,6 +311,7 @@ def build_parser():
                        choices=sorted(DESIGNS))
     run_p.add_argument("--seed", type=int, default=0)
     _add_scale(run_p)
+    _add_geometry(run_p)
     _add_jobs(run_p)
     _add_logging(run_p)
 
@@ -275,6 +331,7 @@ def build_parser():
     sweep_p.add_argument("--out", default="results.csv")
     sweep_p.add_argument("--cache", help="JSON run-cache path")
     _add_scale(sweep_p)
+    _add_geometry(sweep_p)
     _add_jobs(sweep_p)
     _add_logging(sweep_p)
 
@@ -317,6 +374,7 @@ def build_parser():
         help="metrics snapshot period, in observed translation events",
     )
     _add_scale(trace_p)
+    _add_geometry(trace_p)
     _add_logging(trace_p)
 
     return parser

@@ -8,8 +8,10 @@ and the named virtual-memory design points used throughout the evaluation.
 from repro.core.hsl import (
     PrivateHSL,
     InterleaveHSL,
+    XorFoldHSL,
     DynamicHSL,
     shared_default_hsl,
+    shared_hsl,
 )
 from repro.core.config import VMDesign, DESIGNS, design
 from repro.core.mgvm import choose_dhsl_granularity, MGvmLaunchPlan, plan_kernel_launch
@@ -18,8 +20,10 @@ from repro.core.balance import BalanceController, BalanceParams
 __all__ = [
     "PrivateHSL",
     "InterleaveHSL",
+    "XorFoldHSL",
     "DynamicHSL",
     "shared_default_hsl",
+    "shared_hsl",
     "VMDesign",
     "DESIGNS",
     "design",

@@ -81,15 +81,36 @@ class _RTUMonitor:
 
 
 class BalanceController:
-    """The distributed monitoring logic plus the CP decision flow."""
+    """The distributed monitoring logic plus the CP decision flow.
+
+    ``interconnect`` (optional) makes message propagation
+    route-dependent: the command processor sits on a command die adjacent
+    to chiplet ``cp_chiplet`` (0 by default), so reaching chiplet ``i``
+    costs one link crossing onto the fabric plus the routed path from the
+    CP's chiplet — on the paper's all-to-all that is exactly one
+    ``link_latency`` to every chiplet (the original flat model), while on
+    a ring or mesh far chiplets receive switch broadcasts later than near
+    ones, exactly like the asynchronous arrival the paper describes.
+    Without an interconnect, the flat ``link_latency`` model is used.
+    """
 
     def __init__(
-        self, engine, hsl, num_chiplets, link_latency, params=None, probe=None
+        self,
+        engine,
+        hsl,
+        num_chiplets,
+        link_latency,
+        params=None,
+        probe=None,
+        interconnect=None,
+        cp_chiplet=0,
     ):
         self.engine = engine
         self.hsl = hsl
         self.num_chiplets = num_chiplets
         self.link_latency = link_latency
+        self.interconnect = interconnect
+        self.cp_chiplet = cp_chiplet
         self.params = params or BalanceParams()
         # Observability hooks (no-ops when probes are off).
         self.probe = probe if probe is not None else NULL_PROBE
@@ -111,6 +132,32 @@ class BalanceController:
         self.alerts = 0
         self.switch_events = []
         self.enabled = True
+
+    # -- message propagation -----------------------------------------------------
+
+    def _cp_delay(self, chiplet):
+        """One-way CP <-> chiplet message latency (route-dependent).
+
+        The CP's command die hangs off the fabric next to ``cp_chiplet``:
+        any CP message pays one link crossing to enter the fabric, plus
+        the routed path from there.  On an all-to-all this is one
+        ``link_latency`` for every chiplet (the paper's flat model).
+        """
+        if self.interconnect is None:
+            return self.link_latency
+        if chiplet == self.cp_chiplet:
+            return self.interconnect.link_latency
+        return self.interconnect.path_latency(self.cp_chiplet, chiplet)
+
+    def _gather_delay(self, alerting_chiplet):
+        """Alert -> CP poll -> replies: the end-to-end evaluate latency."""
+        if self.interconnect is None:
+            # Flat model: alert + poll + reply, one crossing each.
+            return 3 * self.link_latency
+        worst = max(
+            self._cp_delay(chiplet) for chiplet in range(self.num_chiplets)
+        )
+        return self._cp_delay(alerting_chiplet) + 2 * worst
 
     # -- event hooks called by the simulator -----------------------------------
 
@@ -167,8 +214,9 @@ class BalanceController:
                 return
             self._cp_busy = True
             # Alert travels to the CP, the CP polls all RTUs and slices,
-            # replies come back: three link crossings end-to-end.
-            self.engine.after(3 * self.link_latency, self._cp_evaluate)
+            # replies come back.  Route-dependent on a routed fabric;
+            # three link crossings end-to-end on the flat all-to-all.
+            self.engine.after(self._gather_delay(chiplet), self._cp_evaluate)
 
     def _cp_evaluate(self):
         """Listing 2: the CP decides whether to switch to fine grain."""
@@ -204,10 +252,12 @@ class BalanceController:
                 self.hsl.apply(component, mode)
             return
         for component in self.hsl.components():
-            # Each L1 TLB, RTU and slice receives the message after one
-            # interconnect crossing; they apply it asynchronously.
+            # Each L1 TLB, RTU and slice receives the message after the
+            # CP -> chiplet route (one crossing on the flat all-to-all);
+            # they apply it asynchronously, so far chiplets on a routed
+            # topology run with a stale HSL copy for longer.
             self.engine.after(
-                self.link_latency, self._make_apply(component, mode)
+                self._cp_delay(component[0]), self._make_apply(component, mode)
             )
 
     def _make_apply(self, component, mode):

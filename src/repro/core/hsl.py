@@ -7,6 +7,11 @@ whose L2 TLB slice (and page walkers) must service it:
   by the requester's own slice.
 * :class:`InterleaveHSL` — the shared-TLB design: a MOD of the VA at some
   granularity (conventionally the page size) picks the home slice.
+* :class:`XorFoldHSL` — a shared-TLB variant that XOR-folds the block
+  index's bit groups instead of taking a MOD.  Folding only lands in
+  ``range(num_chiplets)`` when the count is a power of two, so the class
+  refuses non-power-of-two machines with a clear error;
+  :func:`shared_hsl` falls back to MOD instead.
 * :class:`DynamicHSL` — MGvm's per-kernel function.  It starts in
   *coarse* mode (granularity a multiple of 2 MB chosen from LASP's data
   placement, see :mod:`repro.core.mgvm`) and can be switched to *fine*
@@ -14,7 +19,20 @@ whose L2 TLB slice (and page walkers) must service it:
   switch message reaches chiplets asynchronously, each hardware component
   keeps its own copy of the HSL; :class:`DynamicHSL` therefore exposes a
   per-component view.
+
+Every HSL works for *any* ``num_chiplets >= 1`` — MOD interleaving does
+not care whether the count is a power of two — except the XOR fold,
+which is pow2-only by construction.
 """
+
+import logging
+
+log = logging.getLogger("repro.hsl")
+
+
+def is_pow2(value):
+    """True iff ``value`` is a positive power of two."""
+    return value >= 1 and (value & (value - 1)) == 0
 
 
 class PrivateHSL:
@@ -52,9 +70,77 @@ class InterleaveHSL:
         )
 
 
+class XorFoldHSL:
+    """XOR-fold of the block index across slices (pow2 counts only).
+
+    The block index's successive ``log2(num_chiplets)``-bit groups are
+    XORed together, spreading strided access patterns whose stride is a
+    multiple of ``granularity * num_chiplets`` (which a plain MOD maps
+    onto a single slice) across all slices.  The fold is only a valid
+    slice id when ``num_chiplets`` is a power of two; other counts raise
+    ``ValueError`` — use :func:`shared_hsl`, which falls back to MOD.
+    """
+
+    is_dynamic = False
+
+    def __init__(self, granularity, num_chiplets):
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        if not is_pow2(num_chiplets):
+            raise ValueError(
+                "XorFoldHSL requires a power-of-two chiplet count "
+                "(got %d); use shared_hsl(..., mode='xor') to fall back "
+                "to MOD interleaving on other counts" % num_chiplets
+            )
+        self.granularity = int(granularity)
+        self.num_chiplets = num_chiplets
+        self._bits = num_chiplets.bit_length() - 1
+        self._mask = num_chiplets - 1
+
+    def home(self, va, requester=None, component=None):
+        if self._bits == 0:  # single chiplet: everything is home
+            return 0
+        block = va // self.granularity
+        folded = 0
+        while block:
+            folded ^= block & self._mask
+            block >>= self._bits
+        return folded
+
+    def __repr__(self):
+        return "XorFoldHSL(granularity=%d, chiplets=%d)" % (
+            self.granularity,
+            self.num_chiplets,
+        )
+
+
+def shared_hsl(num_chiplets, granularity, mode="mod"):
+    """Build a shared-TLB HSL, validating the chiplet count.
+
+    ``mode="mod"`` returns the conventional :class:`InterleaveHSL`;
+    ``mode="xor"`` returns :class:`XorFoldHSL` when ``num_chiplets`` is a
+    power of two and *falls back to MOD* (with a warning) otherwise, so a
+    3- or 6-chiplet sweep never crashes deep inside a run.
+    """
+    if num_chiplets < 1:
+        raise ValueError("num_chiplets must be >= 1 (got %d)" % num_chiplets)
+    if mode == "mod":
+        return InterleaveHSL(granularity, num_chiplets)
+    if mode == "xor":
+        if not is_pow2(num_chiplets):
+            log.warning(
+                "XOR-fold HSL needs a power-of-two chiplet count; "
+                "falling back to MOD interleaving for %d chiplets",
+                num_chiplets,
+            )
+            return InterleaveHSL(granularity, num_chiplets)
+        return XorFoldHSL(granularity, num_chiplets)
+    raise ValueError("bad shared HSL mode %r (use 'mod' or 'xor')" % mode)
+
+
 def shared_default_hsl(num_chiplets, page_size):
     """The conventional shared-TLB HSL: page-granularity interleave."""
-    return InterleaveHSL(page_size, num_chiplets)
+    return shared_hsl(num_chiplets, page_size, mode="mod")
 
 
 class DynamicHSL:
@@ -73,6 +159,10 @@ class DynamicHSL:
     def __init__(self, coarse_granularity, fine_granularity, num_chiplets):
         if coarse_granularity < fine_granularity:
             raise ValueError("coarse granularity must be >= fine granularity")
+        if num_chiplets < 1:
+            raise ValueError(
+                "num_chiplets must be >= 1 (got %d)" % num_chiplets
+            )
         self.coarse_granularity = int(coarse_granularity)
         self.fine_granularity = int(fine_granularity)
         self.num_chiplets = num_chiplets

@@ -614,6 +614,83 @@ def extension_uvm(runner, workloads=None):
     )
 
 
+SCALING_CHIPLETS = [2, 4, 8]
+SCALING_TOPOLOGIES = ["all-to-all", "ring", "mesh"]
+SCALING_DESIGNS = ["private", "shared", "mgvm"]
+
+
+def extension_scaling(
+    runner,
+    workloads=None,
+    chiplets=None,
+    topologies=None,
+    designs=None,
+):
+    """Extension: design scaling across chiplet counts and topologies.
+
+    Sweeps ``chiplets x topologies x designs`` and reports, per
+    configuration, the geometric-mean throughput of shared and MGvm
+    normalized to private on the *same* machine (so bigger machines are
+    not penalized for having more remote traffic in the baseline), the
+    MGvm-over-shared advantage, and the mean routed hop count of a
+    translation message under MGvm.
+
+    The paper's argument (Section VII) is that translation locality
+    matters *more* as the package grows: with more chiplets — and with
+    real multi-hop fabrics instead of an idealized crossbar — the cost
+    of a remote lookup rises, so MGvm's advantage over the shared
+    baseline should grow with the chiplet count and with the fabric
+    diameter.
+    """
+    workloads = workloads or ALL
+    chiplets = chiplets or SCALING_CHIPLETS
+    topologies = topologies or SCALING_TOPOLOGIES
+    designs = designs or SCALING_DESIGNS
+    if "private" not in designs:
+        raise ValueError("scaling figure needs the 'private' baseline")
+    rows = []
+    series = {}
+    for topo in topologies:
+        for count in chiplets:
+            overrides = {"num_chiplets": count, "topology": topo}
+            runner.prefetch(workloads, designs, overrides=overrides)
+            ratios = {d: [] for d in designs}
+            hops = []
+            for workload in workloads:
+                records = {
+                    d: runner.run(workload, d, overrides=overrides)
+                    for d in designs
+                }
+                base = records["private"].throughput or 1.0
+                for d in designs:
+                    ratios[d].append(records[d].throughput / base)
+                hopper = records.get("mgvm") or records[designs[-1]]
+                hops.append(hopper.avg_translation_hops)
+            means = {d: geomean(ratios[d]) for d in designs}
+            advantage = (
+                means["mgvm"] / means["shared"]
+                if "mgvm" in means and "shared" in means and means["shared"]
+                else float("nan")
+            )
+            rows.append(
+                [topo, count]
+                + [means[d] for d in designs]
+                + [advantage, sum(hops) / len(hops)]
+            )
+            series["%s/%d" % (topo, count)] = {
+                "gmeans": means,
+                "advantage": advantage,
+            }
+    return FigureResult(
+        "Extension: throughput scaling across chiplet counts and fabric "
+        "topologies (gmean over workloads, normalized to private on the "
+        "same machine)",
+        ["topology", "chiplets"] + designs + ["mgvm/shared", "avg_hops"],
+        rows,
+        series=series,
+    )
+
+
 ALL_FIGURES = {
     "figure3": figure3,
     "figure4": figure4,
@@ -633,5 +710,6 @@ ALL_FIGURES = {
     "ablation_switch_cost": ablation_switch_cost,
     "ablation_balance_thresholds": ablation_balance_thresholds,
     "extension_uvm": extension_uvm,
+    "scaling": extension_scaling,
     "timeseries": timeseries,
 }

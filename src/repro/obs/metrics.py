@@ -11,6 +11,9 @@ event) it snapshots, per chiplet,
 * ``hits`` / ``hit_rate`` — slice hits over the same window,
 * ``walk_queue_depth`` — walkers busy + walks waiting for a walker,
 * ``mshr_occupancy``   — live MSHR entries of the slice,
+* ``route_hops``       — fabric link traversals of translation messages
+  routed *out of* this chiplet since the previous snapshot (1 per remote
+  message on the all-to-all; more on ring/mesh/dual-package routes),
 
 and it *also* snapshots (with the window counters accumulated so far) on
 every RTU epoch roll, balance alert and balance switch — the events that
@@ -34,6 +37,7 @@ FIELDS = [
     "hit_rate",
     "walk_queue_depth",
     "mshr_occupancy",
+    "route_hops",
 ]
 
 
@@ -54,6 +58,7 @@ class MetricsRecorder(Probe):
         self._win_incoming = []
         self._win_serviced = []
         self._win_hits = []
+        self._win_route_hops = []
 
     def attach(self, sim):
         super().attach(sim)
@@ -64,6 +69,7 @@ class MetricsRecorder(Probe):
         self._win_incoming = [0] * self._num_chiplets
         self._win_serviced = [0] * self._num_chiplets
         self._win_hits = [0] * self._num_chiplets
+        self._win_route_hops = [0] * self._num_chiplets
 
     # -- observed-event hooks ---------------------------------------------------
 
@@ -74,6 +80,10 @@ class MetricsRecorder(Probe):
 
     def l1_miss(self, cu, vpn):
         self._tick()
+
+    def route(self, req, src, dst, depart, arrive, hops=1):
+        if src != dst:
+            self._win_route_hops[src] += hops
 
     def slice_arrive(self, req, chiplet):
         if req.origin != chiplet:
@@ -126,11 +136,13 @@ class MetricsRecorder(Probe):
                     "hit_rate": hits / serviced if serviced else 0.0,
                     "walk_queue_depth": tokens.in_use + tokens.queue_length,
                     "mshr_occupancy": len(self._slices[chiplet].mshr),
+                    "route_hops": self._win_route_hops[chiplet],
                 }
             )
         self._win_incoming = [0] * self._num_chiplets
         self._win_serviced = [0] * self._num_chiplets
         self._win_hits = [0] * self._num_chiplets
+        self._win_route_hops = [0] * self._num_chiplets
 
     # -- exporters ----------------------------------------------------------------
 

@@ -18,7 +18,9 @@ Hook                         Caller / moment
                              translation of the same page
 ``translation_start``        ``TranslationSystem.request`` — request created
 ``route``                    ``TranslationSystem`` — initial HSL route and
-                             every later forward (re-route / caching forward)
+                             every later forward (re-route / caching
+                             forward); carries the routed hop count of the
+                             fabric path (1 on the all-to-all)
 ``slice_arrive``             ``L2TLBSlice.receive`` — request reaches a slice
 ``slice_lookup``             ``L2TLBSlice`` — lookup port done (hit or miss)
 ``reroute``                  ``L2TLBSlice`` — stale-HSL re-route decision
@@ -69,7 +71,7 @@ class Probe:
     def translation_start(self, req):
         pass
 
-    def route(self, req, src, dst, depart, arrive):
+    def route(self, req, src, dst, depart, arrive, hops=1):
         pass
 
     # -- L2 slice ---------------------------------------------------------
@@ -158,9 +160,9 @@ class MultiProbe(Probe):
         for probe in self.probes:
             probe.translation_start(req)
 
-    def route(self, req, src, dst, depart, arrive):
+    def route(self, req, src, dst, depart, arrive, hops=1):
         for probe in self.probes:
-            probe.route(req, src, dst, depart, arrive)
+            probe.route(req, src, dst, depart, arrive, hops)
 
     def slice_arrive(self, req, chiplet):
         for probe in self.probes:

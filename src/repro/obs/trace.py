@@ -70,13 +70,23 @@ class TraceProbe(Probe):
         )
         req.span = span
 
-    def route(self, req, src, dst, depart, arrive):
+    def route(self, req, src, dst, depart, arrive, hops=1):
         span = req.span
         if span is None:
             return
-        name = "route %d->%d" % (src, dst) if src != dst else "route local"
+        if src != dst:
+            name = "route %d->%d (%d hop%s)" % (
+                src, dst, hops, "" if hops == 1 else "s"
+            )
+        else:
+            name = "route local"
         span.add_hop(
-            "route", name, depart, arrive, dst, {"src": src, "dst": dst}
+            "route",
+            name,
+            depart,
+            arrive,
+            dst,
+            {"src": src, "dst": dst, "hops": hops if src != dst else 0},
         )
 
     def slice_arrive(self, req, chiplet):
@@ -154,7 +164,12 @@ class TraceProbe(Probe):
             for hop in walk.hops:
                 span.add_hop(*hop)
         now = self.engine.now
-        span.add_hop("fill", "response", now, arrive, chiplet)
+        fill_hops = 0
+        if chiplet != req.origin and self.sim is not None:
+            fill_hops = self.sim.interconnect.hop_count(chiplet, req.origin)
+        span.add_hop(
+            "fill", "response", now, arrive, chiplet, {"hops": fill_hops}
+        )
         span.t_end = arrive
         if walk is None:
             span.outcome = (

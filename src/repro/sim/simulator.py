@@ -168,6 +168,21 @@ class Simulator:
         # path and nothing at all per engine event (see repro.obs).
         self.probe = probe if probe is not None else NULL_PROBE
         self.stats = RunStats(num_chiplets=params.num_chiplets)
+        # The fabric: a routed, topology-aware interconnect.  The default
+        # all-to-all reproduces the paper's package exactly (one hop of
+        # link_latency per remote message); ring/mesh/dual-package charge
+        # per-hop latency along routed paths.  Translation, data and PTE
+        # traffic all share it, so per-link contention (when enabled) and
+        # per-link crossing statistics cover every message kind.
+        self.interconnect = Interconnect(
+            params.num_chiplets,
+            link_latency=params.link_latency,
+            issue_interval=params.link_issue_interval or None,
+            topology=getattr(params, "topology", "all-to-all"),
+            inter_package_latency=getattr(
+                params, "inter_package_latency", None
+            ),
+        )
         self.memory_system = MemorySystem(
             params.num_chiplets,
             link_latency=params.link_latency,
@@ -176,11 +191,7 @@ class Simulator:
             l2_latency=params.l2_cache_latency,
             l2_banks=params.l2_cache_banks,
             dram_latency=params.dram_latency,
-        )
-        self.interconnect = Interconnect(
-            params.num_chiplets,
-            link_latency=params.link_latency,
-            issue_interval=params.link_issue_interval or None,
+            interconnect=self.interconnect,
         )
 
         self.balance = None
@@ -198,6 +209,7 @@ class Simulator:
                 params.link_latency,
                 params=balance_params,
                 probe=self.probe,
+                interconnect=self.interconnect,
             )
 
         self.translation = TranslationSystem(
@@ -243,6 +255,7 @@ class Simulator:
         self.engine.run(max_events=max_events)
         stats = self.stats
         stats.cycles = self.engine.now
+        stats.record_fabric(self.interconnect)
         if self.balance is not None:
             stats.balance_alerts = self.balance.alerts
             stats.balance_switches = list(self.balance.switch_events)

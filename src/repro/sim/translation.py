@@ -94,8 +94,11 @@ class TranslationSystem:
         if self.balance is not None:
             self.balance.note_routed(origin, target)
 
-        arrive = self.interconnect.traverse(origin, target, t, kind="translation")
-        self._probe_route(req, origin, target, t, arrive)
+        interconnect = self.interconnect
+        arrive = interconnect.traverse(origin, target, t, kind="translation")
+        self._probe_route(
+            req, origin, target, t, arrive, interconnect.hop_count(origin, target)
+        )
         slice_ = self.slices[target]
         self.engine.at(arrive, lambda: slice_.receive(req))
 
@@ -103,9 +106,13 @@ class TranslationSystem:
         """Move a request between slices (re-route or caching forward)."""
         if self.balance is not None:
             self.balance.note_routed(src, dst)
-        arrive = self.interconnect.traverse(
+        interconnect = self.interconnect
+        arrive = interconnect.traverse(
             src, dst, self.engine.now, kind="translation"
         )
-        self._probe_route(req, src, dst, self.engine.now, arrive)
+        self._probe_route(
+            req, src, dst, self.engine.now, arrive,
+            interconnect.hop_count(src, dst),
+        )
         slice_ = self.slices[dst]
         self.engine.at(arrive, lambda: slice_.receive(req))

@@ -13,14 +13,20 @@ Everything the paper's figures report is derived from this object:
 """
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 @dataclass
 class RunStats:
-    """Counters populated by one simulation run."""
+    """Counters populated by one simulation run.
 
-    num_chiplets: int = 4
+    ``num_chiplets`` is deliberately *required*: per-chiplet arrays are
+    sized from it, and a silent default of 4 would let a 2/8/16-chiplet
+    run mis-size them without any error.  Every construction site must
+    say how many chiplets the machine has.
+    """
+
+    num_chiplets: int
 
     # Progress
     instructions: int = 0
@@ -71,6 +77,20 @@ class RunStats:
     balance_switches: List = field(default_factory=list)
 
     per_chiplet_incoming: List[int] = field(default_factory=list)
+
+    # Interconnect fabric (populated from the Interconnect at end of run).
+    # ``*_crossings`` count messages that left their source chiplet;
+    # ``*_hops`` count link traversals (> crossings on multi-hop
+    # topologies).  ``link_crossings`` maps "src>dst" to that directed
+    # link's total traversal count.
+    fabric_topology: str = "all-to-all"
+    translation_crossings: int = 0
+    translation_hops: int = 0
+    data_crossings: int = 0
+    data_hops: int = 0
+    pte_crossings: int = 0
+    pte_hops: int = 0
+    link_crossings: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self):
         if not self.per_chiplet_incoming:
@@ -148,6 +168,39 @@ class RunStats:
         total = self.data_accesses_local + self.data_accesses_remote
         return self.data_accesses_remote / total if total else 0.0
 
+    @property
+    def avg_translation_hops(self):
+        """Mean link traversals per remote translation message (>= 1)."""
+        if not self.translation_crossings:
+            return 0.0
+        return self.translation_hops / self.translation_crossings
+
+    @property
+    def total_fabric_hops(self):
+        return self.translation_hops + self.data_hops + self.pte_hops
+
+    @property
+    def max_link_crossings(self):
+        """Traversals of the busiest directed link (fabric hotspot)."""
+        return max(self.link_crossings.values()) if self.link_crossings else 0
+
+    def record_fabric(self, interconnect):
+        """Copy the interconnect's crossing/hop accounting into the stats."""
+        self.fabric_topology = interconnect.topology.kind
+        crossings = interconnect.crossings
+        hops = interconnect.hops
+        self.translation_crossings = crossings["translation"]
+        self.translation_hops = hops["translation"]
+        self.data_crossings = crossings["data"]
+        self.data_hops = hops["data"]
+        self.pte_crossings = crossings["pte"]
+        self.pte_hops = hops["pte"]
+        self.link_crossings = {
+            "%d>%d" % link: total
+            for link, total in sorted(interconnect.link_totals().items())
+            if total
+        }
+
     def summary(self):
         """A flat dict of the headline metrics (for CSV/report output)."""
         return {
@@ -162,4 +215,7 @@ class RunStats:
             "data_remote_fraction": self.data_remote_fraction,
             "walks": self.walks,
             "balance_switches": len(self.balance_switches),
+            "fabric_topology": self.fabric_topology,
+            "avg_translation_hops": self.avg_translation_hops,
+            "max_link_crossings": self.max_link_crossings,
         }

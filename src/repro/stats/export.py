@@ -26,7 +26,39 @@ RAW_FIELDS = [
     "cycles_remote_hit",
     "cycles_pw_local",
     "cycles_pw_remote",
+    # Fabric accounting (PR 3): routed link traversals per message kind,
+    # the mean hop count of a translation message, the hottest directed
+    # link, and the full per-link histogram packed as "src>dst:count|...".
+    "fabric_topology",
+    "translation_hops",
+    "data_hops",
+    "pte_hops",
+    "avg_translation_hops",
+    "max_link_crossings",
+    "link_crossings",
 ]
+
+
+def pack_link_crossings(link_crossings):
+    """Pack the per-directed-link histogram into one CSV cell.
+
+    ``{"0>1": 5, "1>0": 3}`` becomes ``"0>1:5|1>0:3"`` (key-sorted).
+    """
+    return "|".join(
+        "%s:%d" % (link, count)
+        for link, count in sorted((link_crossings or {}).items())
+    )
+
+
+def unpack_link_crossings(cell):
+    """Inverse of :func:`pack_link_crossings` (empty cell -> ``{}``)."""
+    if not cell:
+        return {}
+    out = {}
+    for item in cell.split("|"):
+        link, _, count = item.rpartition(":")
+        out[link] = int(count)
+    return out
 
 
 def write_raw_csv(records, path):
@@ -53,6 +85,13 @@ def write_raw_csv(records, path):
                     "%.1f" % breakdown.get("remote_hit", 0.0),
                     "%.1f" % breakdown.get("pw_local", 0.0),
                     "%.1f" % breakdown.get("pw_remote", 0.0),
+                    record.fabric_topology,
+                    record.translation_hops,
+                    record.data_hops,
+                    record.pte_hops,
+                    "%.4f" % record.avg_translation_hops,
+                    record.max_link_crossings,
+                    pack_link_crossings(record.link_crossings),
                 ]
             )
 

@@ -4,6 +4,15 @@ Table II footprints are divided by the scale's ``footprint_divisor``
 (rounded to a power of two, with a floor of 64 pages so every allocation
 still spans multiple leaf PT pages), and per-CTA trace lengths are
 multiplied by ``trace_scale``.
+
+The power-of-two rounding here concerns *allocation sizes* (the aligning
+allocator requires pow2 sizes so HSL interleaving and LASP placement can
+agree); it does **not** assume anything about the machine's chiplet
+count.  Footprints stay pow2 on 2-, 3-, 4- or 8-chiplet machines alike —
+a non-pow2 count merely means the MOD interleave leaves the remainder
+blocks on the low-numbered chiplets, which is correct if slightly
+uneven.  :func:`is_pow2` is the shared predicate for code (like the
+XOR-fold HSL) that genuinely does require a power of two.
 """
 
 from repro.arch.params import scale_info
@@ -12,10 +21,22 @@ from repro.vm.address import KB, MB
 MIN_ALLOC = 256 * KB
 
 
+def is_pow2(value):
+    """True iff ``value`` is a positive power of two."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
 def pow2_floor(value):
     if value < 1:
         raise ValueError("value must be >= 1")
     return 1 << (value.bit_length() - 1)
+
+
+def pow2_ceil(value):
+    """The smallest power of two >= ``value``."""
+    if value < 1:
+        raise ValueError("value must be >= 1")
+    return 1 << (value - 1).bit_length()
 
 
 def scaled_bytes(paper_mb, scale="default", mult=1):

@@ -141,7 +141,7 @@ class TestExport:
                 mpki=0.0, instructions=0, cycles=0.0, l2_hits_local=0,
                 l2_hits_remote=0, walks=0, pw_local=0, pw_remote=0,
                 avg_walk_latency=0.0, l2_hit_rate=0.0, balance_switches=0,
-                data_remote_fraction=0.0,
+                data_remote_fraction=0.0, translation_hops=0,
             )
 
         out = tmp_path / "norm.csv"

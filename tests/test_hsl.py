@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.hsl import DynamicHSL, InterleaveHSL, PrivateHSL, shared_default_hsl
+from repro.core.hsl import (
+    DynamicHSL,
+    InterleaveHSL,
+    PrivateHSL,
+    XorFoldHSL,
+    shared_default_hsl,
+    shared_hsl,
+)
 from repro.vm.address import KB, MB
 
 
@@ -47,6 +54,91 @@ class TestInterleaveHSL:
     def test_home_always_in_range(self, va, chiplets):
         hsl = InterleaveHSL(4 * KB, chiplets)
         assert 0 <= hsl.home(va) < chiplets
+
+
+class TestXorFoldHSL:
+    def test_covers_all_slices(self):
+        hsl = XorFoldHSL(4 * KB, 8)
+        homes = {hsl.home(va) for va in range(0, 256 * 4 * KB, 4 * KB)}
+        assert homes == set(range(8))
+
+    def test_low_blocks_match_mod(self):
+        # The first num_chiplets blocks have no upper bit groups to fold,
+        # so the XOR fold degenerates to the MOD interleave there.
+        hsl = XorFoldHSL(4 * KB, 4)
+        mod = InterleaveHSL(4 * KB, 4)
+        for block in range(4):
+            assert hsl.home(block * 4 * KB) == mod.home(block * 4 * KB)
+
+    def test_spreads_large_strides(self):
+        # Stride = granularity * num_chiplets pins a MOD interleave to
+        # slice 0; the fold must still use every slice.
+        hsl = XorFoldHSL(4 * KB, 4)
+        mod = InterleaveHSL(4 * KB, 4)
+        stride = 4 * KB * 4
+        mod_homes = {mod.home(i * stride) for i in range(64)}
+        xor_homes = {hsl.home(i * stride) for i in range(64)}
+        assert mod_homes == {0}
+        assert xor_homes == set(range(4))
+
+    def test_single_chiplet(self):
+        assert XorFoldHSL(4 * KB, 1).home(0xDEAD_0000) == 0
+
+    def test_non_pow2_raises_clearly(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            XorFoldHSL(4 * KB, 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XorFoldHSL(0, 4)
+
+    def test_shared_hsl_falls_back_to_mod(self):
+        hsl = shared_hsl(6, 4 * KB, mode="xor")
+        assert isinstance(hsl, InterleaveHSL)
+        assert shared_hsl(8, 4 * KB, mode="xor").num_chiplets == 8
+        with pytest.raises(ValueError):
+            shared_hsl(0, 4 * KB)
+        with pytest.raises(ValueError):
+            shared_hsl(4, 4 * KB, mode="hash")
+
+    @given(st.integers(0, 2**48), st.sampled_from([1, 2, 4, 8, 16]))
+    def test_home_always_in_range(self, va, chiplets):
+        hsl = XorFoldHSL(4 * KB, chiplets)
+        assert 0 <= hsl.home(va) < chiplets
+
+
+def _all_hsl_modes(num_chiplets):
+    """One instance of every HSL mode for a machine size."""
+    modes = [
+        PrivateHSL(),
+        InterleaveHSL(4 * KB, num_chiplets),
+        shared_hsl(num_chiplets, 4 * KB, mode="xor"),  # MOD fallback on 3
+        DynamicHSL(2 * MB, 4 * KB, num_chiplets),
+    ]
+    return modes
+
+
+class TestEveryModeEveryCount:
+    """Satellite: every HSL mode homes into range(num_chiplets)."""
+
+    @given(
+        st.integers(0, 2**48),
+        st.sampled_from([2, 3, 4, 8]),
+        st.integers(0, 7),
+    )
+    def test_home_in_range(self, va, chiplets, requester_raw):
+        requester = requester_raw % chiplets
+        for hsl in _all_hsl_modes(chiplets):
+            home = hsl.home(va, requester)
+            assert 0 <= home < chiplets, (hsl, va, home)
+
+    @given(st.integers(0, 2**44), st.sampled_from([2, 3, 4, 8]))
+    def test_dynamic_views_in_range(self, va, chiplets):
+        hsl = DynamicHSL(2 * MB, 4 * KB, chiplets)
+        for component in hsl.components():
+            hsl.apply(component, "fine")
+            assert 0 <= hsl.home(va, component=component) < chiplets
+        assert 0 <= hsl.coarse_home(va) < chiplets
 
 
 class TestDynamicHSL:

@@ -1,6 +1,16 @@
-"""Tests for the chiplet interconnect."""
+"""Tests for the chiplet interconnect and its routed topologies."""
+
+import pytest
 
 from repro.arch.interconnect import Interconnect
+from repro.arch.topology import (
+    AllToAllTopology,
+    DualPackageTopology,
+    MeshTopology,
+    RingTopology,
+    build_topology,
+    topology_names,
+)
 
 
 class TestLatency:
@@ -53,3 +63,172 @@ class TestBandwidthMode:
         ic.traverse(0, 1, 0.0)
         # The reverse direction is a separate link: no contention.
         assert ic.traverse(1, 0, 0.0) == 10.0
+
+
+class TestTopologies:
+    def test_registry_covers_all_kinds(self):
+        names = topology_names()
+        for kind in ("all-to-all", "ring", "mesh", "dual-package"):
+            assert kind in names
+
+    def test_all_to_all_is_single_hop(self):
+        topo = AllToAllTopology(8)
+        assert topo.diameter_hops() == 1
+        assert topo.hop_count(0, 5) == 1
+        assert topo.path(0, 5) == ((0, 5),)
+
+    def test_ring_routes_shortest_direction(self):
+        topo = RingTopology(8)
+        assert topo.hop_count(0, 1) == 1
+        assert topo.hop_count(0, 4) == 4  # antipode
+        assert topo.hop_count(0, 6) == 2  # counter-clockwise is shorter
+        assert topo.path(0, 6) == ((0, 7), (7, 6))
+        assert topo.diameter_hops() == 4
+
+    def test_mesh_routes_xy(self):
+        topo = MeshTopology(8)  # most-square grid
+        assert topo.rows * topo.cols == 8
+        for src in range(8):
+            for dst in range(8):
+                r0, c0 = divmod(src, topo.cols)
+                r1, c1 = divmod(dst, topo.cols)
+                manhattan = abs(r0 - r1) + abs(c0 - c1)
+                assert topo.hop_count(src, dst) == manhattan
+
+    def test_dual_package_crosses_one_slow_link(self):
+        topo = DualPackageTopology(8, inter_package_weight=3.0)
+        cross = [
+            link
+            for link in topo.path(1, 5)
+            if topo.is_inter_package(link)
+        ]
+        assert len(cross) == 1
+        assert topo.link_weight(cross[0]) == 3.0
+        # Same-package routes never touch the inter-package link.
+        assert not any(
+            topo.is_inter_package(link) for link in topo.path(1, 3)
+        )
+
+    def test_dual_package_needs_even_count(self):
+        with pytest.raises(ValueError):
+            DualPackageTopology(5)
+
+    def test_paths_are_continuous_chains(self):
+        for name in ("all-to-all", "ring", "mesh"):
+            for count in (2, 3, 4, 8):
+                topo = build_topology(name, count)
+                for src in range(count):
+                    for dst in range(count):
+                        path = topo.path(src, dst)
+                        if src == dst:
+                            assert path == ()
+                            continue
+                        assert path[0][0] == src
+                        assert path[-1][1] == dst
+                        for (a, b), (c, _d) in zip(path, path[1:]):
+                            assert b == c
+
+    def test_build_topology_validates(self):
+        with pytest.raises(ValueError):
+            build_topology("torus", 4)
+        with pytest.raises(ValueError):
+            build_topology("ring", 1)
+
+
+class TestRoutedLatency:
+    def test_ring_charges_per_hop(self):
+        ic = Interconnect(8, link_latency=32.0, topology="ring")
+        assert ic.traverse(0, 4, 100.0) == 100.0 + 4 * 32.0
+        assert ic.traverse(0, 6, 0.0) == 2 * 32.0
+        assert ic.hop_count(0, 4) == 4
+
+    def test_mesh_charges_manhattan_distance(self):
+        ic = Interconnect(4, link_latency=10.0, topology="mesh")
+        # 2x2 grid: diagonal is two hops.
+        diag = max(ic.hop_count(0, dst) for dst in range(4))
+        assert diag == 2
+        assert ic.path_latency(0, 3) == ic.hop_count(0, 3) * 10.0
+
+    def test_dual_package_charges_slow_link(self):
+        ic = Interconnect(
+            8,
+            link_latency=32.0,
+            topology="dual-package",
+            inter_package_latency=96.0,
+        )
+        # 1 -> 5: gateway 0, slow link 0->4, then 4->5.
+        assert ic.traverse(1, 5, 0.0) == 32.0 + 96.0 + 32.0
+        # Same package: all-to-all within the package, one plain link.
+        assert ic.traverse(1, 2, 0.0) == 32.0
+
+    def test_default_topology_matches_flat_latency(self):
+        # Back-compat: the all-to-all default must charge exactly the
+        # old single link_latency per remote traversal.
+        flat = Interconnect(4, link_latency=32.0)
+        topo = Interconnect(4, link_latency=32.0, topology="all-to-all")
+        for src in range(4):
+            for dst in range(4):
+                expected = 0.0 if src == dst else 32.0
+                assert flat.traverse(src, dst, 0.0) == expected
+                assert topo.traverse(src, dst, 0.0) == expected
+
+    def test_topology_instance_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Interconnect(4, topology=RingTopology(8))
+
+
+class TestRoutedContention:
+    def test_shared_ring_segment_serializes(self):
+        ic = Interconnect(
+            4, link_latency=10.0, issue_interval=5.0, topology="ring"
+        )
+        # Both messages route through link (1, 2): 0->2 (0,1)(1,2) and
+        # 1->2 (1,2).  The second reservation of (1,2) waits.
+        first = ic.traverse(0, 2, 0.0)
+        assert first == 20.0  # two uncontended hops
+        second = ic.traverse(1, 2, 10.0)  # (1,2) busy at t=10 until 15
+        assert second == 25.0
+
+    def test_disjoint_ring_links_do_not_contend(self):
+        ic = Interconnect(
+            4, link_latency=10.0, issue_interval=5.0, topology="ring"
+        )
+        ic.traverse(0, 1, 0.0)
+        assert ic.traverse(2, 3, 0.0) == 10.0
+        assert ic.link_wait_cycles() == 0.0
+
+    def test_wait_cycles_accumulate(self):
+        ic = Interconnect(2, link_latency=10.0, issue_interval=5.0)
+        ic.traverse(0, 1, 0.0)
+        ic.traverse(0, 1, 0.0)
+        assert ic.link_wait_cycles() == 5.0
+
+
+class TestPerLinkAccounting:
+    def test_local_traverse_charges_nothing(self):
+        ic = Interconnect(4, link_latency=32.0, topology="ring")
+        ic.traverse(2, 2, 0.0, kind="data")
+        assert ic.total_crossings() == 0
+        assert ic.total_hops() == 0
+        assert ic.max_link_crossings() == 0
+
+    def test_multi_hop_counts_every_link(self):
+        ic = Interconnect(8, link_latency=32.0, topology="ring")
+        ic.traverse(0, 3, 0.0, kind="translation")
+        assert ic.crossings["translation"] == 1
+        assert ic.hops["translation"] == 3
+        totals = ic.link_totals()
+        assert totals[(0, 1)] == 1
+        assert totals[(1, 2)] == 1
+        assert totals[(2, 3)] == 1
+        assert sum(totals.values()) == 3
+
+    def test_per_link_per_kind_split(self):
+        ic = Interconnect(4, link_latency=32.0, topology="ring")
+        ic.traverse(0, 1, 0.0, kind="translation")
+        ic.traverse(0, 1, 0.0, kind="pte")
+        counts = ic.link_crossings[(0, 1)]
+        assert counts["translation"] == 1
+        assert counts["pte"] == 1
+        assert counts["data"] == 0
+        assert ic.max_link_crossings() == 2

@@ -9,46 +9,58 @@ from repro.stats.counters import RunStats
 from repro.stats.report import format_table, geomean, normalize_to
 
 
+def stats(**kwargs):
+    """A RunStats on the paper's 4-chiplet machine (the test default)."""
+    kwargs.setdefault("num_chiplets", 4)
+    return RunStats(**kwargs)
+
+
 class TestRunStats:
+    def test_num_chiplets_is_required(self):
+        # Mis-sized per-chiplet arrays silently corrupt RTU accounting,
+        # so the machine size must always be stated explicitly.
+        with pytest.raises(TypeError):
+            RunStats()
+
     def test_throughput(self):
-        s = RunStats(instructions=1000, cycles=500.0)
+        s = stats(instructions=1000, cycles=500.0)
         assert s.throughput == 2.0
 
     def test_throughput_zero_cycles(self):
-        assert RunStats().throughput == 0.0
+        assert stats().throughput == 0.0
 
     def test_mpki(self):
-        s = RunStats(instructions=2000, walks=10)
+        s = stats(instructions=2000, walks=10)
         assert s.mpki == 5.0
 
     def test_mpki_no_instructions(self):
-        assert RunStats(walks=10).mpki == 0.0
+        assert stats(walks=10).mpki == 0.0
 
     def test_l2_hit_rate(self):
-        s = RunStats(l2_hits_local=6, l2_hits_remote=2, l2_miss_requests=2)
+        s = stats(l2_hits_local=6, l2_hits_remote=2, l2_miss_requests=2)
         assert s.l2_hit_rate == 0.8
 
     def test_local_hit_fraction(self):
-        s = RunStats(l2_hits_local=3, l2_hits_remote=1)
+        s = stats(l2_hits_local=3, l2_hits_remote=1)
         assert s.local_hit_fraction == 0.75
 
     def test_local_hit_fraction_no_hits_defaults_local(self):
-        assert RunStats().local_hit_fraction == 1.0
+        assert stats().local_hit_fraction == 1.0
 
     def test_pw_remote_fraction(self):
-        s = RunStats(pw_accesses_local=3, pw_accesses_remote=1)
+        s = stats(pw_accesses_local=3, pw_accesses_remote=1)
         assert s.pw_remote_fraction == 0.25
 
     def test_avg_walk_latency(self):
-        s = RunStats(walks=4, walk_latency_sum=400.0)
+        s = stats(walks=4, walk_latency_sum=400.0)
         assert s.avg_walk_latency == 100.0
 
     def test_breakdown_keys_are_paper_buckets(self):
-        breakdown = RunStats().miss_cycle_breakdown
+        breakdown = stats().miss_cycle_breakdown
         assert list(breakdown) == ["local_hit", "remote_hit", "pw_local", "pw_remote"]
 
     def test_total_miss_cycles(self):
-        s = RunStats(
+        s = stats(
             cycles_local_hit=1.0,
             cycles_remote_hit=2.0,
             cycles_pw_local=3.0,
@@ -60,12 +72,26 @@ class TestRunStats:
         assert len(RunStats(num_chiplets=6).per_chiplet_incoming) == 6
 
     def test_summary_keys(self):
-        summary = RunStats().summary()
+        summary = stats().summary()
         for key in ("throughput", "mpki", "l2_hit_rate", "pw_remote_fraction"):
             assert key in summary
 
+    def test_summary_has_fabric_keys(self):
+        summary = stats().summary()
+        for key in (
+            "fabric_topology",
+            "avg_translation_hops",
+            "max_link_crossings",
+        ):
+            assert key in summary
+
+    def test_avg_translation_hops(self):
+        s = stats(translation_crossings=4, translation_hops=10)
+        assert s.avg_translation_hops == 2.5
+        assert stats().avg_translation_hops == 0.0
+
     def test_l1_miss_rate(self):
-        s = RunStats(l1_tlb_hits=9, l1_tlb_misses=1)
+        s = stats(l1_tlb_hits=9, l1_tlb_misses=1)
         assert s.l1_miss_rate == 0.1
 
 
