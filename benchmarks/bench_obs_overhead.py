@@ -25,6 +25,13 @@ that (see docs/observability.md for the design that makes them pass):
   cross-run noise allowance.  (The engine events/s check above stays at
   3% — the fabric layer must not touch the engine hot loop at all.)
 
+* **Audit probe** — the online invariant checker (``AuditProbe``) is
+  meant to ride along in CI and during development, so it must stay
+  cheap: one smoke simulation under a full ``AuditProbe`` may cost at
+  most ``AUDIT_BUDGET`` (10%) over the probe-absent run, measured with
+  the same ``SIM_TOLERANCE`` (10%) timer-noise margin the NULL_PROBE
+  comparison uses (``AUDIT_TOLERANCE`` = budget + noise).
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
 for a JSON report, or with ``--check`` to exit non-zero on regression
 (what CI does).  Also collectable with pytest:
@@ -36,7 +43,7 @@ import os
 import sys
 import time
 
-from repro.obs import NULL_PROBE, TraceProbe
+from repro.obs import NULL_PROBE, AuditProbe, TraceProbe
 from bench_engine_hotpath import drive_engine, run_smoke_sim
 
 BASELINE_PATH = os.path.join(
@@ -52,6 +59,13 @@ SIM_TOLERANCE = 0.10
 # Allowance for the all-to-all smoke sim vs the recorded trajectory
 # (wall-time across runs is noisier than same-process ratios).
 FABRIC_TOLERANCE = 0.10
+# The online invariant checker must stay cheap enough to ride along in
+# CI: its overhead budget is 10% over the probe-absent smoke run, plus
+# the same 10% timer-noise margin the NULL_PROBE comparison gets (the
+# shared CI machines' run-to-run jitter alone spans that much — see
+# SIM_TOLERANCE, which covers a path whose true cost is zero).
+AUDIT_BUDGET = 0.10
+AUDIT_TOLERANCE = AUDIT_BUDGET + SIM_TOLERANCE
 
 # Best-of-N sampling; raw dispatch rate is sensitive to scheduler noise
 # on shared CI machines, so it gets extra rounds.
@@ -117,6 +131,7 @@ def measure(rounds=ROUNDS):
     off = _time_smoke(lambda: None, rounds=rounds)
     null = _time_smoke(lambda: NULL_PROBE, rounds=rounds)
     traced = _time_smoke(lambda: TraceProbe(max_spans=100000), rounds=rounds)
+    audited = _time_smoke(lambda: AuditProbe(), rounds=rounds)
     baseline_smoke = baseline_smoke_seconds()
     return {
         "baseline_events_per_sec": baseline,
@@ -125,8 +140,10 @@ def measure(rounds=ROUNDS):
         "smoke_probe_absent_seconds": round(off, 4),
         "smoke_null_probe_seconds": round(null, 4),
         "smoke_traced_seconds": round(traced, 4),
+        "smoke_audit_seconds": round(audited, 4),
         "null_probe_ratio": round(null / off, 4) if off else None,
         "trace_probe_ratio": round(traced / off, 4) if off else None,
+        "audit_probe_ratio": round(audited / off, 4) if off else None,
         "baseline_smoke_sim_seconds": baseline_smoke,
         "fabric_smoke_ratio": (
             round(off / baseline_smoke, 4) if baseline_smoke else None
@@ -161,6 +178,13 @@ def check(report):
                 (report["null_probe_ratio"] - 1.0) * 100,
                 SIM_TOLERANCE * 100,
             )
+        )
+    audit_ratio = report.get("audit_probe_ratio")
+    if audit_ratio and audit_ratio > 1.0 + AUDIT_TOLERANCE:
+        problems.append(
+            "AuditProbe smoke sim %.1f%% slower than probe-absent "
+            "(tolerance %d%%)"
+            % ((audit_ratio - 1.0) * 100, AUDIT_TOLERANCE * 100)
         )
     ratio = report.get("fabric_smoke_ratio")
     if ratio and ratio > 1.0 + FABRIC_TOLERANCE:
@@ -211,6 +235,16 @@ def test_null_probe_is_free():
     assert null <= off * (1.0 + SIM_TOLERANCE), (
         "explicit NULL_PROBE should cost nothing vs probe-absent: "
         "%.4fs vs %.4fs" % (null, off)
+    )
+
+
+def test_audit_probe_overhead_guard():
+    off = _time_smoke(lambda: None)
+    audited = _time_smoke(lambda: AuditProbe())
+    assert audited <= off * (1.0 + AUDIT_TOLERANCE), (
+        "AuditProbe too expensive to ride along in CI: "
+        "%.4fs vs %.4fs probe-absent (tolerance %d%%)"
+        % (audited, off, AUDIT_TOLERANCE * 100)
     )
 
 

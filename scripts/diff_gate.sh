@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# The `repro diff` regression gate, with a built-in self-test.
+#
+# Steps:
+#   1. regenerate the smoke sweep into a temp manifest;
+#   2. SELF-TEST the gate: inject a >=1% throughput delta into a copy of
+#      the fresh sweep and require `repro diff` to FAIL on it (a gate
+#      that cannot fire is worse than no gate);
+#   3. require `repro diff` to PASS comparing the fresh sweep against
+#      itself (no false positives);
+#   4. GATE: compare the committed golden snapshot
+#      (results/golden_smoke.csv) against the fresh sweep.  Any drift
+#      beyond tolerance means a commit moved the paper's numbers without
+#      regenerating the golden (see results/README.md).
+#
+# Usage: scripts/diff_gate.sh [rel_tol]
+#   GOLDEN     baseline manifest (default: results/golden_smoke.csv)
+#   WORK_DIR   scratch dir (default: fresh temp dir, removed on exit)
+
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+REL_TOL="${1:-0.01}"
+GOLDEN="${GOLDEN:-results/golden_smoke.csv}"
+
+if [ -z "${WORK_DIR:-}" ]; then
+    WORK_DIR="$(mktemp -d)"
+    trap 'rm -rf "$WORK_DIR"' EXIT
+fi
+
+echo "== regenerating smoke sweep =="
+python -m repro sweep --scale smoke --out "$WORK_DIR/sweep.csv" >/dev/null
+
+echo "== self-test: injected 2% throughput regression must FAIL =="
+python - "$WORK_DIR" <<'EOF'
+import csv
+import sys
+
+workdir = sys.argv[1]
+with open(workdir + "/sweep.csv", newline="") as handle:
+    rows = list(csv.reader(handle))
+column = rows[0].index("throughput")
+rows[1][column] = "%.6f" % (float(rows[1][column]) * 1.02)
+with open(workdir + "/injected.csv", "w", newline="") as handle:
+    csv.writer(handle).writerows(rows)
+EOF
+if python -m repro diff "$WORK_DIR/sweep.csv" "$WORK_DIR/injected.csv" \
+        --rel-tol "$REL_TOL" >/dev/null; then
+    echo "FATAL: the diff gate did not catch an injected regression" >&2
+    exit 1
+fi
+echo "ok: injected regression caught"
+
+echo "== self-test: self-comparison must PASS =="
+python -m repro diff "$WORK_DIR/sweep.csv" "$WORK_DIR/sweep.csv" \
+    --rel-tol "$REL_TOL"
+
+echo "== gating against $GOLDEN =="
+python -m repro diff "$GOLDEN" "$WORK_DIR/sweep.csv" --rel-tol "$REL_TOL"
+echo "diff gate passed"

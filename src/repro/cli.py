@@ -12,13 +12,24 @@ Mirrors the paper artifact's scripts:
 * ``python -m repro trace GUPS mgvm --out trace.json`` — run one
   instrumented simulation and dump a Chrome trace-event file plus
   optional JSONL spans and an epoch-metrics CSV (see
-  docs/observability.md).
+  docs/observability.md);
+* ``python -m repro profile GUPS mgvm`` — run one simulation with the
+  host self-profiler and report where wall-clock goes (text top-N plus
+  speedscope/collapsed flamegraph exports);
+* ``python -m repro diff results/golden_smoke.csv new.csv`` — the
+  regression gate: align two result manifests and fail on any counter
+  moving beyond tolerance.
+
+``repro run``/``repro trace`` accept ``--audit``, which attaches the
+online invariant checker (:class:`repro.obs.AuditProbe`) to every
+simulation and fails the command on any violation.
 
 Tables and figures go to stdout; diagnostics go through the ``repro.*``
 logger hierarchy on stderr, controlled by ``--log-level``/``-v``.
 """
 
 import argparse
+import json
 import logging
 import math
 import sys
@@ -28,8 +39,15 @@ from repro.arch.topology import topology_names
 from repro.core.config import DESIGNS, design
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import ExperimentRunner
-from repro.obs import MetricsRecorder, MultiProbe, TraceProbe
+from repro.obs import (
+    AuditProbe,
+    HostProfiler,
+    MetricsRecorder,
+    MultiProbe,
+    TraceProbe,
+)
 from repro.sim.simulator import simulate
+from repro.stats.diff import diff_paths, format_report as format_diff_report
 from repro.stats.export import write_normalized_csv, write_raw_csv
 from repro.stats.report import format_table
 from repro.workloads.registry import WORKLOAD_NAMES, build_kernel, workload_metadata
@@ -154,14 +172,80 @@ def cmd_list(_args):
     return 0
 
 
+def _print_audit_summaries(audits):
+    """Render per-design audit summaries; return the total violations.
+
+    ``audits`` is ``[(design_name, AuditProbe), ...]``.  Violation
+    details go to stdout (they are the command's product when auditing);
+    the caller maps a nonzero total to a failing exit status.
+    """
+    rows = []
+    total = 0
+    for name, audit in audits:
+        summary = audit.summary()
+        total += summary["violations"]
+        rows.append(
+            [
+                name,
+                summary["checks_passed"],
+                summary["violations"],
+                summary["requests"],
+                summary["epochs"],
+                "ok" if audit.ok else "FAIL",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["design", "checks", "violations", "requests", "epochs", "audit"],
+            rows,
+        )
+    )
+    for name, audit in audits:
+        for violation in audit.violations[:10]:
+            print("AUDIT %s: %s" % (name, violation))
+        if audit.suppressed:
+            print(
+                "AUDIT %s: ... and %d more suppressed violation(s)"
+                % (name, audit.suppressed)
+            )
+    return total
+
+
+def _run_audited(args, overrides):
+    """``repro run --audit``: simulate outside the cache, under audit."""
+    from repro.experiments.runner import RunRecord
+
+    kernel = build_kernel(args.workload, scale=args.scale)
+    params = scaled_params(args.scale, **overrides)
+    grid = {}
+    audits = []
+    for name in args.designs:
+        audit = AuditProbe()
+        stats = simulate(
+            kernel, params, design(name), seed=args.seed, probe=audit
+        )
+        grid[(args.workload, name)] = RunRecord.from_stats(
+            args.workload, name, stats
+        )
+        audits.append((name, audit))
+    return grid, audits
+
+
 def cmd_run(args):
-    runner = ExperimentRunner(
-        scale=args.scale, seed=args.seed, workers=args.jobs
-    )
     overrides = _geometry_overrides(args)
-    grid = runner.run_matrix(
-        [args.workload], args.designs, overrides=overrides or None
-    )
+    audits = None
+    if args.audit:
+        # Audited runs bypass the run cache: the point is to *observe*
+        # this simulation, and cached records carry no probe stream.
+        grid, audits = _run_audited(args, overrides)
+    else:
+        runner = ExperimentRunner(
+            scale=args.scale, seed=args.seed, workers=args.jobs
+        )
+        grid = runner.run_matrix(
+            [args.workload], args.designs, overrides=overrides or None
+        )
     rows = []
     baseline = None
     for name in args.designs:
@@ -203,6 +287,9 @@ def cmd_run(args):
             rows,
         )
     )
+    if audits is not None:
+        if _print_audit_summaries(audits):
+            return 1
     return 0
 
 
@@ -256,7 +343,12 @@ def cmd_trace(args):
         sample_every=args.sample_every, max_spans=args.max_spans
     )
     metrics = MetricsRecorder(sample_every=args.metrics_interval)
-    probe = MultiProbe([tracer, metrics])
+    probes = [tracer, metrics]
+    audit = None
+    if args.audit:
+        audit = AuditProbe()
+        probes.append(audit)
+    probe = MultiProbe(probes)
     log.info(
         "tracing %s under %s (scale=%s, seed=%d)",
         workload,
@@ -286,8 +378,78 @@ def cmd_trace(args):
         ["balance switches", len(metrics.switches)],
         ["wrote", " ".join(written)],
     ]
+    if audit is not None:
+        rows.insert(
+            -1,
+            [
+                "audit",
+                "ok (%d checks)" % audit.checks_passed
+                if audit.ok
+                else "FAIL",
+            ],
+        )
     print(format_table(["trace", "value"], rows))
+    if audit is not None and not audit.ok:
+        _print_audit_summaries([(args.design, audit)])
+        return 1
     return 0
+
+
+def cmd_profile(args):
+    workload = _resolve_workload(args.workload)
+    kernel = build_kernel(workload, scale=args.scale)
+    params = scaled_params(args.scale, **_geometry_overrides(args))
+    profiler = HostProfiler()
+    log.info(
+        "profiling %s under %s (scale=%s, seed=%d)",
+        workload,
+        args.design,
+        args.scale,
+        args.seed,
+    )
+    stats = simulate(
+        kernel,
+        params,
+        design(args.design),
+        seed=args.seed,
+        profiler=profiler,
+    )
+    print(profiler.format_report(top=args.top))
+    written = []
+    if args.out:
+        profiler.write_speedscope(
+            args.out, name="repro %s/%s" % (workload, args.design)
+        )
+        written.append(args.out)
+    if args.collapsed:
+        profiler.write_collapsed(args.collapsed)
+        written.append(args.collapsed)
+    if written:
+        print("wrote %s" % " ".join(written))
+    log.info(
+        "simulated %.0f cycles in %.3fs host time",
+        stats.cycles,
+        profiler.total_seconds,
+    )
+    return 0
+
+
+def cmd_diff(args):
+    try:
+        report = diff_paths(
+            args.baseline,
+            args.candidate,
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+            counters=args.counters or None,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit("repro diff: %s" % exc)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_diff_report(report, top=args.top))
+    return 0 if report["ok"] else 1
 
 
 def build_parser():
@@ -310,6 +472,12 @@ def build_parser():
     run_p.add_argument("--designs", nargs="+", default=MAIN_DESIGNS,
                        choices=sorted(DESIGNS))
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach the online invariant auditor to every simulation "
+        "(bypasses the run cache); exit nonzero on any violation",
+    )
     _add_scale(run_p)
     _add_geometry(run_p)
     _add_jobs(run_p)
@@ -373,9 +541,85 @@ def build_parser():
         default=2000,
         help="metrics snapshot period, in observed translation events",
     )
+    trace_p.add_argument(
+        "--audit",
+        action="store_true",
+        help="also run the online invariant auditor; exit nonzero on "
+        "any violation",
+    )
     _add_scale(trace_p)
     _add_geometry(trace_p)
     _add_logging(trace_p)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one simulation under the host self-profiler",
+    )
+    prof_p.add_argument("workload", help="workload name (case-insensitive)")
+    prof_p.add_argument(
+        "design", choices=sorted(DESIGNS), help="VM design point"
+    )
+    prof_p.add_argument(
+        "--out",
+        default="profile.speedscope.json",
+        help="speedscope profile output path (load at "
+        "https://www.speedscope.app); empty string to skip",
+    )
+    prof_p.add_argument(
+        "--collapsed",
+        help="also write collapsed-stack lines (flamegraph.pl input)",
+    )
+    prof_p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="rows in the printed top-N table",
+    )
+    prof_p.add_argument("--seed", type=int, default=0)
+    _add_scale(prof_p)
+    _add_geometry(prof_p)
+    _add_logging(prof_p)
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="compare two result manifests (regression gate)",
+    )
+    diff_p.add_argument(
+        "baseline", help="baseline manifest (raw sweep CSV or run-cache JSON)"
+    )
+    diff_p.add_argument(
+        "candidate", help="candidate manifest to gate against the baseline"
+    )
+    diff_p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.01,
+        help="relative tolerance per counter (default 1%%)",
+    )
+    diff_p.add_argument(
+        "--abs-tol",
+        type=float,
+        default=1e-9,
+        help="absolute slack below which deltas are ignored",
+    )
+    diff_p.add_argument(
+        "--counters",
+        nargs="*",
+        help="restrict the comparison to these counters "
+        "(default: every shared numeric column)",
+    )
+    diff_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured report as JSON instead of a table",
+    )
+    diff_p.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="violations shown in the table rendering",
+    )
+    _add_logging(diff_p)
 
     return parser
 
@@ -394,6 +638,8 @@ def main(argv=None):
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "trace": cmd_trace,
+        "profile": cmd_profile,
+        "diff": cmd_diff,
     }
     try:
         return handlers[args.command](args)

@@ -24,6 +24,7 @@ Fig 16    Local caching of remote TLB entries vs MGvm
 ========  ==================================================================
 """
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -52,10 +53,45 @@ class FigureResult:
         )
 
 
-def _gmean_row(label, rows, columns):
+def _gmeanable(value):
+    """Can ``value`` participate in a geometric mean?"""
+    try:
+        return value > 0 and math.isfinite(value)
+    except TypeError:
+        return False
+
+
+def _gmean_row(label, rows, columns, headers=None):
+    """The figure's Gmean summary row over ``columns`` of ``rows``.
+
+    A zero-throughput run upstream normalizes to ``nan``/``0``/``inf``
+    and makes the geometric mean undefined; rather than leaking
+    :func:`geomean`'s positional ``nan at index i`` error, name the
+    offending *workload* (the row label) and column so the failing
+    configuration is identifiable from the message alone.
+    """
     means = []
     for col in columns:
-        means.append(geomean([row[col] for row in rows]))
+        values = [row[col] for row in rows]
+        try:
+            means.append(geomean(values))
+        except ValueError as exc:
+            offenders = ", ".join(
+                "%s=%r" % (row[0], value)
+                for row, value in zip(rows, values)
+                if not _gmeanable(value)
+            )
+            column = (
+                headers[col]
+                if headers and col < len(headers)
+                else "column %d" % col
+            )
+            raise ValueError(
+                "Gmean over %s is undefined; offending workload(s): %s "
+                "(a zero-throughput baseline normalizes to nan — rerun "
+                "the named workload(s) to find out why)"
+                % (column, offenders or "none identified (%s)" % exc)
+            ) from exc
     return [label] + means
 
 
@@ -666,7 +702,21 @@ def extension_scaling(
                     ratios[d].append(records[d].throughput / base)
                 hopper = records.get("mgvm") or records[designs[-1]]
                 hops.append(hopper.avg_translation_hops)
-            means = {d: geomean(ratios[d]) for d in designs}
+            means = {}
+            for d in designs:
+                try:
+                    means[d] = geomean(ratios[d])
+                except ValueError as exc:
+                    offenders = ", ".join(
+                        "%s=%r" % (workload, ratio)
+                        for workload, ratio in zip(workloads, ratios[d])
+                        if not _gmeanable(ratio)
+                    )
+                    raise ValueError(
+                        "scaling gmean undefined for design %r on %d "
+                        "chiplets (%s fabric); offending workload(s): %s"
+                        % (d, count, topo, offenders or exc)
+                    ) from exc
             advantage = (
                 means["mgvm"] / means["shared"]
                 if "mgvm" in means and "shared" in means and means["shared"]

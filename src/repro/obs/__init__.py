@@ -17,7 +17,16 @@ Concrete probes:
 * :class:`MetricsRecorder` — per-chiplet time-series samples (incoming /
   serviced / hit-rate / walk-queue depth) every N observed events plus
   on every RTU epoch roll and balance alert/switch, exported as CSV.
+* :class:`AuditProbe` — online invariant checker: request conservation,
+  MSHR balance, walker grant/level/done pairing, per-request timestamp
+  monotonicity, fabric-latency charging and RTU epoch reconciliation,
+  reported as structured :class:`AuditViolation` records.
 * :class:`MultiProbe` — fan out to several probes in one run.
+
+:class:`HostProfiler` is the host-side complement: it attributes *wall
+clock* (not simulated cycles) per component and event kind by timing
+engine dispatch, and exports speedscope / collapsed-stack flamegraphs
+(``repro profile``).
 
 See ``docs/observability.md`` for the full protocol and file formats.
 """
@@ -26,6 +35,8 @@ from repro.obs.probe import NULL_PROBE, MultiProbe, Probe
 from repro.obs.span import Hop, Span
 from repro.obs.trace import TraceProbe
 from repro.obs.metrics import MetricsRecorder
+from repro.obs.audit import AuditError, AuditProbe, AuditViolation
+from repro.obs.profile import HostProfiler
 
 __all__ = [
     "Probe",
@@ -35,4 +46,8 @@ __all__ = [
     "Span",
     "TraceProbe",
     "MetricsRecorder",
+    "AuditError",
+    "AuditProbe",
+    "AuditViolation",
+    "HostProfiler",
 ]

@@ -10,7 +10,11 @@ event) it snapshots, per chiplet,
 * ``serviced``   — slice lookups performed since the previous snapshot,
 * ``hits`` / ``hit_rate`` — slice hits over the same window,
 * ``walk_queue_depth`` — walkers busy + walks waiting for a walker,
-* ``mshr_occupancy``   — live MSHR entries of the slice,
+* ``mshr_occupancy``   — live MSHR entries of the slice (driven by the
+  ``mshr_occupancy`` hook, so it needs no component peeking),
+* ``mshr_hwm`` / ``mshr_mean`` — the window's MSHR high-water mark and
+  its time-weighted mean occupancy (entries integrated over cycles /
+  window length),
 * ``route_hops``       — fabric link traversals of translation messages
   routed *out of* this chiplet since the previous snapshot (1 per remote
   message on the all-to-all; more on ring/mesh/dual-package routes),
@@ -37,6 +41,8 @@ FIELDS = [
     "hit_rate",
     "walk_queue_depth",
     "mshr_occupancy",
+    "mshr_hwm",
+    "mshr_mean",
     "route_hops",
 ]
 
@@ -59,6 +65,18 @@ class MetricsRecorder(Probe):
         self._win_serviced = []
         self._win_hits = []
         self._win_route_hops = []
+        # MSHR occupancy tracking, driven purely by the mshr_occupancy
+        # hook.  Per chiplet: current occupancy, window high-water mark,
+        # window occupancy*time integral (and its last-update time),
+        # window start, plus run-lifetime hwm/integral for summary().
+        self._mshr_chiplet = {}
+        self._mshr_cur = []
+        self._mshr_win_hwm = []
+        self._mshr_win_area = []
+        self._mshr_last_t = []
+        self._mshr_win_t0 = []
+        self._mshr_run_hwm = []
+        self._mshr_run_area = []
 
     def attach(self, sim):
         super().attach(sim)
@@ -70,6 +88,18 @@ class MetricsRecorder(Probe):
         self._win_serviced = [0] * self._num_chiplets
         self._win_hits = [0] * self._num_chiplets
         self._win_route_hops = [0] * self._num_chiplets
+        self._mshr_chiplet = {
+            slice_.mshr.name: chiplet
+            for chiplet, slice_ in enumerate(self._slices)
+        }
+        zeros = [0] * self._num_chiplets
+        self._mshr_cur = list(zeros)
+        self._mshr_win_hwm = list(zeros)
+        self._mshr_run_hwm = list(zeros)
+        self._mshr_win_area = [0.0] * self._num_chiplets
+        self._mshr_run_area = [0.0] * self._num_chiplets
+        self._mshr_last_t = [self.engine.now] * self._num_chiplets
+        self._mshr_win_t0 = [self.engine.now] * self._num_chiplets
 
     # -- observed-event hooks ---------------------------------------------------
 
@@ -98,6 +128,23 @@ class MetricsRecorder(Probe):
     def walk_done(self, record, chiplet):
         self._tick()
 
+    def mshr_occupancy(self, name, occupancy):
+        chiplet = self._mshr_chiplet.get(name)
+        if chiplet is None:
+            return
+        now = self.engine.now
+        previous = self._mshr_cur[chiplet]
+        dt = now - self._mshr_last_t[chiplet]
+        if dt > 0.0:
+            self._mshr_win_area[chiplet] += previous * dt
+            self._mshr_run_area[chiplet] += previous * dt
+        self._mshr_last_t[chiplet] = now
+        self._mshr_cur[chiplet] = occupancy
+        if occupancy > self._mshr_win_hwm[chiplet]:
+            self._mshr_win_hwm[chiplet] = occupancy
+        if occupancy > self._mshr_run_hwm[chiplet]:
+            self._mshr_run_hwm[chiplet] = occupancy
+
     # -- balance-driven snapshots ------------------------------------------------
 
     def rtu_epoch(self, chiplet, incoming, outgoing, possible):
@@ -124,6 +171,20 @@ class MetricsRecorder(Probe):
             hits = self._win_hits[chiplet]
             walkers = self._walkers[chiplet]
             tokens = walkers.tokens
+            # Close the MSHR occupancy*time integral at the snapshot
+            # edge so the window mean covers the whole window.
+            occupancy = self._mshr_cur[chiplet]
+            dt = now - self._mshr_last_t[chiplet]
+            if dt > 0.0:
+                self._mshr_win_area[chiplet] += occupancy * dt
+                self._mshr_run_area[chiplet] += occupancy * dt
+                self._mshr_last_t[chiplet] = now
+            window = now - self._mshr_win_t0[chiplet]
+            mshr_mean = (
+                self._mshr_win_area[chiplet] / window
+                if window > 0.0
+                else float(occupancy)
+            )
             self.rows.append(
                 {
                     "t": now,
@@ -135,10 +196,15 @@ class MetricsRecorder(Probe):
                     "hits": hits,
                     "hit_rate": hits / serviced if serviced else 0.0,
                     "walk_queue_depth": tokens.in_use + tokens.queue_length,
-                    "mshr_occupancy": len(self._slices[chiplet].mshr),
+                    "mshr_occupancy": occupancy,
+                    "mshr_hwm": self._mshr_win_hwm[chiplet],
+                    "mshr_mean": mshr_mean,
                     "route_hops": self._win_route_hops[chiplet],
                 }
             )
+            self._mshr_win_area[chiplet] = 0.0
+            self._mshr_win_hwm[chiplet] = occupancy
+            self._mshr_win_t0[chiplet] = now
         self._win_incoming = [0] * self._num_chiplets
         self._win_serviced = [0] * self._num_chiplets
         self._win_hits = [0] * self._num_chiplets
@@ -154,6 +220,7 @@ class MetricsRecorder(Probe):
             for row in self.rows:
                 out = dict(row)
                 out["hit_rate"] = "%.4f" % out["hit_rate"]
+                out["mshr_mean"] = "%.3f" % out["mshr_mean"]
                 writer.writerow(out)
 
     # -- summaries ----------------------------------------------------------------
@@ -166,4 +233,17 @@ class MetricsRecorder(Probe):
         kinds = {}
         for row in self.rows:
             kinds[row["event"]] = kinds.get(row["event"], 0) + 1
-        return {"rows": len(self.rows), "by_event": kinds}
+        out = {"rows": len(self.rows), "by_event": kinds}
+        if self._num_chiplets:
+            now = self.engine.now if self.engine is not None else 0.0
+            means = []
+            for chiplet in range(self._num_chiplets):
+                area = self._mshr_run_area[chiplet]
+                # Include the still-open tail segment (cheap and exact).
+                dt = now - self._mshr_last_t[chiplet]
+                if dt > 0.0:
+                    area += self._mshr_cur[chiplet] * dt
+                means.append(round(area / now, 4) if now > 0.0 else 0.0)
+            out["mshr_hwm"] = list(self._mshr_run_hwm)
+            out["mshr_mean"] = means
+        return out

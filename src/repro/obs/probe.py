@@ -47,7 +47,17 @@ references.
 
 
 class Probe:
-    """No-op instrumentation probe; base class for real probes."""
+    """No-op instrumentation probe; base class for real probes.
+
+    The base class is slotted so that probes which declare their own
+    ``__slots__`` (the hot-path :class:`repro.obs.audit.AuditProbe`)
+    become fully dict-less: every attribute read in a per-translation
+    hook is then a fixed-offset slot load.  Subclasses that do *not*
+    declare ``__slots__`` (tracer, metrics recorder, ...) automatically
+    regain a ``__dict__`` and are unaffected.
+    """
+
+    __slots__ = ("engine", "sim")
 
     def __init__(self):
         self.engine = None

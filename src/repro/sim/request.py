@@ -15,6 +15,7 @@ class TranslationRequest:
         "forward_home",
         "cache_locally",
         "span",
+        "audit_t",
     )
 
     def __init__(self, vpn, va, origin, cu, t0, callback):
@@ -34,6 +35,11 @@ class TranslationRequest:
         # TraceProbe (None when tracing is off or the request is not
         # sampled); see repro.obs.trace.
         self.span = None
+        # Observability: lifecycle timestamp maintained by an AuditProbe
+        # (the request's last observed event; back to None once the
+        # response is seen).  A slot read/write is what keeps the
+        # auditor's hot hooks cheap; see repro.obs.audit.
+        self.audit_t = None
 
     def __repr__(self):
         return "TranslationRequest(vpn=%#x, origin=%d, t0=%.1f)" % (

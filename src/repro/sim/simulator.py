@@ -247,12 +247,22 @@ class Simulator:
     def note_slot_retired(self):
         self._live_slots -= 1
 
-    def run(self, max_events=None):
-        """Execute to completion; return the populated :class:`RunStats`."""
+    def run(self, max_events=None, profiler=None):
+        """Execute to completion; return the populated :class:`RunStats`.
+
+        ``profiler`` (a :class:`repro.obs.HostProfiler` or anything with
+        a ``record(callback, seconds)`` method) routes dispatch through
+        :meth:`Engine.run_profiled`, attributing host wall-clock to
+        every executed event.  ``None`` keeps the uninstrumented fast
+        loop.  Simulated results are identical either way.
+        """
         for cu in self.cus:
             cu.start()
             self._live_slots += cu._active_slots
-        self.engine.run(max_events=max_events)
+        if profiler is not None:
+            self.engine.run_profiled(profiler.record, max_events=max_events)
+        else:
+            self.engine.run(max_events=max_events)
         stats = self.stats
         stats.cycles = self.engine.now
         stats.record_fabric(self.interconnect)
@@ -263,15 +273,26 @@ class Simulator:
         return stats
 
 
-def simulate(kernel, params, design, seed=0, balance_params=None, probe=None):
+def simulate(
+    kernel,
+    params,
+    design,
+    seed=0,
+    balance_params=None,
+    probe=None,
+    profiler=None,
+):
     """Launch ``kernel`` under ``design`` and run it to completion.
 
     ``probe`` attaches an observability probe (e.g.
     :class:`repro.obs.TraceProbe` or :class:`repro.obs.MetricsRecorder`)
-    to the run; ``None`` leaves instrumentation disabled.
+    to the run; ``None`` leaves instrumentation disabled.  ``profiler``
+    attaches a host-side self-profiler (:class:`repro.obs.HostProfiler`)
+    that attributes wall-clock to event kinds via
+    :meth:`repro.engine.event_queue.Engine.run_profiled`.
     """
     launch = launch_kernel(kernel, params, design)
     simulator = Simulator(
         launch, params, seed=seed, balance_params=balance_params, probe=probe
     )
-    return simulator.run()
+    return simulator.run(profiler=profiler)

@@ -1,0 +1,367 @@
+"""Differential comparison of experiment result manifests (``repro diff``).
+
+The regression gate behind CI: load two result manifests — either raw
+sweep CSVs (:data:`repro.stats.export.RAW_FIELDS` schema) or
+:class:`~repro.experiments.runner.ExperimentRunner` JSON caches — align
+their rows by ``(workload, design, chiplets, topology)``, and report
+per-counter deltas against configurable relative/absolute thresholds.
+
+Alignment keys are format-normalized so a default-geometry JSON cache
+and a default-geometry CSV sweep compare cleanly: a CSV row (which
+carries no explicit geometry beyond ``fabric_topology``) gets
+``chiplets=None`` and an empty qualifier, and a JSON cache entry whose
+key holds no overrides and default scale/mult/seed normalizes to the
+same.  Non-default scale, trace multipliers, seeds and exotic overrides
+land in a human-readable ``qualifier`` string that keeps such rows from
+colliding with (or silently matching) baseline rows.
+
+``compare`` is pure data-in/data-out; the CLI layer
+(:func:`repro.cli.cmd_diff`) renders the report as a table or JSON and
+turns ``ok`` into the process exit status.  A counter regression passes
+only when explicitly acknowledged by regenerating the committed golden
+snapshot (see ``results/README.md``).
+"""
+
+import json
+import math
+
+from repro.stats.export import read_csv
+
+#: Counters compared by default: every numeric column both manifest
+#: formats can produce.  ``--counters`` (or ``compare(counters=...)``)
+#: narrows the set; unknown names are reported, not ignored.
+DEFAULT_COUNTERS = [
+    "throughput",
+    "mpki",
+    "cycles",
+    "l2_hit_rate",
+    "local_hit_fraction",
+    "pw_remote_fraction",
+    "data_remote_fraction",
+    "avg_walk_latency",
+    "walks",
+    "balance_switches",
+    "translation_hops",
+    "data_hops",
+    "pte_hops",
+    "avg_translation_hops",
+    "max_link_crossings",
+    "cycles_local_hit",
+    "cycles_remote_hit",
+    "cycles_pw_local",
+    "cycles_pw_remote",
+]
+
+#: CSV/JSON fields that identify a row rather than measure it.
+_NON_COUNTER_FIELDS = {
+    "workload",
+    "design",
+    "fabric_topology",
+    "link_crossings",
+    "breakdown",
+    "instructions",
+}
+
+
+def _qualifier(scale, mult, seed, extra_overrides):
+    """Disambiguator for rows beyond the canonical alignment key.
+
+    Empty for a default-scale, mult-1, seed-0 run with no overrides
+    besides geometry — exactly the rows a raw sweep CSV can also
+    express — so such rows align across manifest formats.
+    """
+    parts = []
+    if scale not in (None, "default"):
+        parts.append("scale=%s" % scale)
+    if mult not in (None, 1):
+        parts.append("mult=%s" % mult)
+    if seed not in (None, 0):
+        parts.append("seed=%s" % seed)
+    for name, value in sorted((extra_overrides or {}).items()):
+        parts.append("%s=%s" % (name, value))
+    return " ".join(parts)
+
+
+def _numeric(value):
+    """``value`` as a float, or ``None`` when it isn't a number."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def _load_csv_manifest(path):
+    rows = read_csv(path)
+    out = {}
+    for index, row in enumerate(rows):
+        key = (
+            row.get("workload", ""),
+            row.get("design", ""),
+            None,
+            row.get("fabric_topology", "all-to-all"),
+            "",
+        )
+        counters = {}
+        for field, value in row.items():
+            if field in _NON_COUNTER_FIELDS or field is None:
+                continue
+            number = _numeric(value)
+            if number is not None:
+                counters[field] = number
+        if key in out:
+            raise ValueError(
+                "%s: duplicate row for %s (row %d); a diff manifest must "
+                "be unambiguous" % (path, _key_label(key), index + 2)
+            )
+        out[key] = counters
+    return out
+
+
+def _load_json_manifest(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            "%s: expected a JSON object keyed by run configuration"
+            % (path,)
+        )
+    out = {}
+    for raw_key, record in payload.items():
+        try:
+            scale, workload, design_name, items, mult, seed = json.loads(
+                raw_key
+            )
+            overrides = dict(items)
+        except (ValueError, TypeError):
+            raise ValueError(
+                "%s: unparseable run-cache key %r" % (path, raw_key)
+            )
+        chiplets = overrides.pop("num_chiplets", None)
+        topology = overrides.pop("topology", "all-to-all")
+        key = (
+            workload,
+            design_name,
+            chiplets,
+            topology,
+            _qualifier(scale, mult, seed, overrides),
+        )
+        counters = {}
+        for field, value in record.items():
+            if field == "breakdown" and isinstance(value, dict):
+                # Flatten to the CSV column names (cycles_local_hit, ...)
+                # so breakdown buckets diff across manifest formats.
+                for bucket, amount in value.items():
+                    number = _numeric(amount)
+                    if number is not None:
+                        counters["cycles_%s" % bucket] = number
+                continue
+            if field in _NON_COUNTER_FIELDS:
+                continue
+            number = _numeric(value)
+            if number is not None:
+                counters[field] = number
+        if key in out:
+            raise ValueError(
+                "%s: duplicate row for %s; a diff manifest must be "
+                "unambiguous" % (path, _key_label(key))
+            )
+        out[key] = counters
+    return out
+
+
+def load_manifest(path):
+    """Load ``path`` as ``{alignment_key: {counter: value}}``.
+
+    ``.json`` files are parsed as :class:`ExperimentRunner` disk caches;
+    anything else as a raw sweep CSV.  The alignment key is
+    ``(workload, design, chiplets, topology, qualifier)``.
+    """
+    if path.endswith(".json"):
+        return _load_json_manifest(path)
+    return _load_csv_manifest(path)
+
+
+def _key_label(key):
+    workload, design_name, chiplets, topology, qualifier = key
+    label = "%s/%s" % (workload, design_name)
+    if chiplets is not None:
+        label += " x%s" % chiplets
+    if topology not in (None, "", "all-to-all"):
+        label += " %s" % topology
+    if qualifier:
+        label += " [%s]" % qualifier
+    return label
+
+
+def compare(
+    baseline,
+    candidate,
+    rel_tol=0.01,
+    abs_tol=1e-9,
+    counters=None,
+):
+    """Diff two loaded manifests; return a structured report dict.
+
+    A counter *violates* when ``|cand - base|`` exceeds ``abs_tol`` AND
+    (for nonzero baselines) ``|cand - base| / |base|`` exceeds
+    ``rel_tol``; a zero baseline with a beyond-``abs_tol`` candidate is
+    always a violation (the relative delta is undefined).  Rows missing
+    from the candidate fail the gate; rows only in the candidate are
+    reported as new but do not fail (adding configurations is not a
+    regression).
+
+    The report::
+
+        {
+          "ok": bool,             # no violations, nothing missing
+          "rel_tol": float, "abs_tol": float,
+          "aligned": int,         # rows present on both sides
+          "counters_compared": int,
+          "violations": [ {key, counter, base, candidate,
+                           abs_delta, rel_delta}, ... ],
+          "missing_in_candidate": [key_label, ...],
+          "only_in_candidate": [key_label, ...],
+          "unknown_counters": [name, ...],   # requested but never seen
+        }
+    """
+    wanted = list(counters) if counters else None
+    seen_counters = set()
+    violations = []
+    aligned = 0
+    compared = 0
+    for key in sorted(baseline, key=_key_label):
+        cand_row = candidate.get(key)
+        if cand_row is None:
+            continue
+        aligned += 1
+        base_row = baseline[key]
+        names = wanted if wanted is not None else sorted(
+            set(base_row) & set(cand_row) & set(DEFAULT_COUNTERS)
+        )
+        for name in names:
+            base_value = base_row.get(name)
+            cand_value = cand_row.get(name)
+            if base_value is None or cand_value is None:
+                continue
+            seen_counters.add(name)
+            compared += 1
+            delta = cand_value - base_value
+            if math.isnan(delta):
+                if math.isnan(base_value) and math.isnan(cand_value):
+                    continue  # nan == nan for diffing purposes
+                abs_delta = math.inf
+            else:
+                abs_delta = abs(delta)
+            if abs_delta <= abs_tol:
+                continue
+            if base_value and not math.isnan(base_value):
+                rel_delta = abs_delta / abs(base_value)
+                if rel_delta <= rel_tol:
+                    continue
+            else:
+                rel_delta = math.inf
+            violations.append(
+                {
+                    "key": _key_label(key),
+                    "counter": name,
+                    "base": base_value,
+                    "candidate": cand_value,
+                    "abs_delta": abs_delta,
+                    "rel_delta": rel_delta,
+                }
+            )
+    missing = [
+        _key_label(key) for key in sorted(baseline, key=_key_label)
+        if key not in candidate
+    ]
+    new_rows = [
+        _key_label(key) for key in sorted(candidate, key=_key_label)
+        if key not in baseline
+    ]
+    unknown = sorted(set(wanted or []) - seen_counters) if wanted else []
+    violations.sort(key=lambda v: -v["rel_delta"])
+    return {
+        "ok": not violations and not missing and not unknown,
+        "rel_tol": rel_tol,
+        "abs_tol": abs_tol,
+        "aligned": aligned,
+        "counters_compared": compared,
+        "violations": violations,
+        "missing_in_candidate": missing,
+        "only_in_candidate": new_rows,
+        "unknown_counters": unknown,
+    }
+
+
+def diff_paths(baseline_path, candidate_path, **kwargs):
+    """:func:`load_manifest` both paths and :func:`compare` them."""
+    return compare(
+        load_manifest(baseline_path),
+        load_manifest(candidate_path),
+        **kwargs
+    )
+
+
+def format_report(report, top=20):
+    """Human-readable text rendering of a :func:`compare` report."""
+    from repro.stats.report import format_table
+
+    lines = []
+    lines.append(
+        "aligned %d row(s), %d counter comparison(s); "
+        "rel_tol=%g abs_tol=%g"
+        % (
+            report["aligned"],
+            report["counters_compared"],
+            report["rel_tol"],
+            report["abs_tol"],
+        )
+    )
+    if report["missing_in_candidate"]:
+        lines.append(
+            "MISSING in candidate: %s"
+            % ", ".join(report["missing_in_candidate"])
+        )
+    if report["only_in_candidate"]:
+        lines.append(
+            "new in candidate (not gated): %s"
+            % ", ".join(report["only_in_candidate"])
+        )
+    if report["unknown_counters"]:
+        lines.append(
+            "requested counters never seen: %s"
+            % ", ".join(report["unknown_counters"])
+        )
+    if report["violations"]:
+        rows = [
+            [
+                item["key"],
+                item["counter"],
+                "%.6g" % item["base"],
+                "%.6g" % item["candidate"],
+                "%.3g" % item["abs_delta"],
+                (
+                    "inf"
+                    if math.isinf(item["rel_delta"])
+                    else "%.2f%%" % (item["rel_delta"] * 100.0)
+                ),
+            ]
+            for item in report["violations"][:top]
+        ]
+        lines.append(
+            format_table(
+                ["row", "counter", "base", "candidate", "|delta|", "rel"],
+                rows,
+            )
+        )
+        extra = len(report["violations"]) - top
+        if extra > 0:
+            lines.append("... and %d more violation(s)" % extra)
+    lines.append("verdict: %s" % ("OK" if report["ok"] else "FAIL"))
+    return "\n".join(lines)

@@ -2,7 +2,19 @@
 
 Smoke-scale simulations are expensive enough (tenths of a second) that
 integration tests share cached runs via the ``run_cache`` fixture.
+
+Strict audit mode: ``REPRO_AUDIT_STRICT=1`` (the CI audit job) attaches
+an :class:`repro.obs.AuditProbe` to **every** :class:`Simulator` the
+suite constructs — alongside whatever probe a test passes — and fails
+the owning test with :class:`repro.obs.AuditError` if any run breaks a
+conservation invariant.  Every simulation the tests perform thereby
+doubles as a correctness check of the machinery itself.  Runs whose own
+probe already contains an auditor are left alone: per-request lifecycle
+state lives in the single ``req.audit_t`` slot, so exactly one auditor
+may observe a given simulation.
 """
+
+import os
 
 import pytest
 
@@ -12,6 +24,88 @@ from repro.sim.simulator import simulate
 from repro.workloads.registry import build_kernel
 
 _CACHE = {}
+
+
+def _audit_strict_enabled():
+    return os.environ.get("REPRO_AUDIT_STRICT", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _audit_strict():
+    """Run every simulator the suite builds under the invariant auditor.
+
+    Activated by ``REPRO_AUDIT_STRICT=1``.  Wraps ``Simulator.__init__``
+    to splice an :class:`AuditProbe` into the run's probe (via
+    :class:`MultiProbe` when the test supplied its own) and
+    ``Simulator.run`` to raise on any recorded violation once the run
+    completes.  Truncated runs (``max_events``) skip the end-of-run
+    conservation checks by design, but mid-run violations still fail.
+    """
+    if not _audit_strict_enabled():
+        yield
+        return
+
+    from repro.obs import AuditProbe, MultiProbe
+    from repro.sim.simulator import Simulator
+
+    original_init = Simulator.__init__
+    original_run = Simulator.run
+
+    def _already_audited(probe):
+        """True when the test's own probe (tree) contains an auditor.
+
+        A second auditor would be redundant — and incorrect: request
+        lifecycle state lives in the single ``req.audit_t`` slot, which
+        two auditors cannot share (each would see the other's writes as
+        duplicate lifecycle events).
+        """
+        if isinstance(probe, AuditProbe):
+            return True
+        return isinstance(probe, MultiProbe) and any(
+            _already_audited(child) for child in probe.probes
+        )
+
+    def audited_init(self, launch, params, seed=0, balance_params=None,
+                     probe=None):
+        if probe is not None and _already_audited(probe):
+            original_init(
+                self,
+                launch,
+                params,
+                seed=seed,
+                balance_params=balance_params,
+                probe=probe,
+            )
+            self._strict_audit = None
+            return
+        audit = AuditProbe()
+        if probe is None:
+            probe = audit
+        else:
+            probe = MultiProbe([probe, audit])
+        original_init(
+            self,
+            launch,
+            params,
+            seed=seed,
+            balance_params=balance_params,
+            probe=probe,
+        )
+        self._strict_audit = audit
+
+    def audited_run(self, max_events=None, profiler=None):
+        stats = original_run(self, max_events=max_events, profiler=profiler)
+        audit = getattr(self, "_strict_audit", None)
+        if audit is not None:
+            audit.raise_if_violations()
+        return stats
+    try:
+        Simulator.__init__ = audited_init
+        Simulator.run = audited_run
+        yield
+    finally:
+        Simulator.__init__ = original_init
+        Simulator.run = original_run
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,205 @@
+"""Tests for the differential regression gate (:mod:`repro.stats.diff`)."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.stats.diff import (
+    compare,
+    diff_paths,
+    format_report,
+    load_manifest,
+)
+
+HEADER = [
+    "workload",
+    "design",
+    "throughput",
+    "mpki",
+    "walks",
+    "fabric_topology",
+    "link_crossings",
+]
+
+ROWS = [
+    ["GUPS", "private", "0.5971", "409.5", "4726", "all-to-all", "0>1:3"],
+    ["GUPS", "mgvm", "0.5931", "20.8", "4726", "all-to-all", ""],
+    ["SPMV", "private", "1.2000", "10.0", "100", "ring", "0>1:5"],
+]
+
+
+def _write_csv(path, rows):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        writer.writerows(rows)
+
+
+@pytest.fixture()
+def manifest_csv(tmp_path):
+    path = tmp_path / "base.csv"
+    _write_csv(str(path), ROWS)
+    return str(path)
+
+
+# -- loading ------------------------------------------------------------------
+
+
+def test_load_csv_manifest_keys_and_counters(manifest_csv):
+    manifest = load_manifest(manifest_csv)
+    assert ("GUPS", "private", None, "all-to-all", "") in manifest
+    assert ("SPMV", "private", None, "ring", "") in manifest
+    counters = manifest[("GUPS", "private", None, "all-to-all", "")]
+    assert counters["throughput"] == pytest.approx(0.5971)
+    assert counters["walks"] == 4726
+    # identity/packed columns are not counters
+    assert "link_crossings" not in counters
+    assert "fabric_topology" not in counters
+
+
+def test_load_json_manifest_aligns_with_csv(tmp_path, manifest_csv):
+    cache = {
+        json.dumps(["default", "GUPS", "private", [], 1, 0]): {
+            "workload": "GUPS",
+            "design": "private",
+            "throughput": 0.5971,
+            "walks": 4726,
+            "breakdown": {"local_hit": 10.0},
+        },
+        # Non-default geometry and mult land on distinct keys.
+        json.dumps(
+            [
+                "default",
+                "GUPS",
+                "private",
+                [["num_chiplets", 8], ["topology", "ring"]],
+                2,
+                0,
+            ]
+        ): {"throughput": 0.4},
+    }
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps(cache))
+    manifest = load_manifest(str(path))
+    assert ("GUPS", "private", None, "all-to-all", "") in manifest
+    assert ("GUPS", "private", 8, "ring", "mult=2") in manifest
+    default = manifest[("GUPS", "private", None, "all-to-all", "")]
+    assert default["cycles_local_hit"] == 10.0  # flattened breakdown
+    # The default-geometry JSON row aligns with the CSV row.
+    report = compare(load_manifest(manifest_csv), manifest)
+    assert report["aligned"] == 1
+
+
+def test_duplicate_rows_are_rejected(tmp_path):
+    path = tmp_path / "dup.csv"
+    _write_csv(str(path), [ROWS[0], ROWS[0]])
+    with pytest.raises(ValueError, match="duplicate row"):
+        load_manifest(str(path))
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def test_self_comparison_is_ok(manifest_csv):
+    report = diff_paths(manifest_csv, manifest_csv)
+    assert report["ok"]
+    assert report["aligned"] == 3
+    assert report["violations"] == []
+    assert "verdict: OK" in format_report(report)
+
+
+def test_injected_one_percent_delta_fails(tmp_path, manifest_csv):
+    rows = [list(row) for row in ROWS]
+    rows[0][2] = "%.6f" % (float(rows[0][2]) * 1.011)  # +1.1% throughput
+    cand = tmp_path / "cand.csv"
+    _write_csv(str(cand), rows)
+    report = diff_paths(manifest_csv, str(cand))
+    assert not report["ok"]
+    (violation,) = report["violations"]
+    assert violation["counter"] == "throughput"
+    assert violation["key"] == "GUPS/private"
+    assert violation["rel_delta"] == pytest.approx(0.011, rel=1e-3)
+    assert "verdict: FAIL" in format_report(report)
+
+
+def test_sub_tolerance_drift_passes(tmp_path, manifest_csv):
+    rows = [list(row) for row in ROWS]
+    rows[0][2] = "%.6f" % (float(rows[0][2]) * 1.005)  # +0.5% < 1%
+    cand = tmp_path / "cand.csv"
+    _write_csv(str(cand), rows)
+    assert diff_paths(manifest_csv, str(cand))["ok"]
+    assert not diff_paths(
+        manifest_csv, str(cand), rel_tol=0.001
+    )["ok"]  # tighter tolerance catches it
+
+
+def test_missing_row_fails_new_row_does_not(tmp_path, manifest_csv):
+    cand = tmp_path / "cand.csv"
+    _write_csv(str(cand), ROWS[:2])  # SPMV/private missing
+    report = diff_paths(manifest_csv, str(cand))
+    assert not report["ok"]
+    assert report["missing_in_candidate"] == ["SPMV/private ring"]
+    # The reverse direction: extra rows are reported but fine.
+    report = diff_paths(str(cand), manifest_csv)
+    assert report["ok"]
+    assert report["only_in_candidate"] == ["SPMV/private ring"]
+
+
+def test_zero_baseline_with_nonzero_candidate_fails():
+    key = ("W", "d", None, "all-to-all", "")
+    base = {key: {"throughput": 0.0}}
+    cand = {key: {"throughput": 0.5}}
+    report = compare(base, cand, counters=["throughput"])
+    assert not report["ok"]
+    assert math.isinf(report["violations"][0]["rel_delta"])
+    assert compare(base, base, counters=["throughput"])["ok"]
+
+
+def test_unknown_requested_counter_fails(manifest_csv):
+    report = diff_paths(
+        manifest_csv, manifest_csv, counters=["throughput", "bogus"]
+    )
+    assert not report["ok"]
+    assert report["unknown_counters"] == ["bogus"]
+
+
+def test_nan_equals_nan():
+    key = ("W", "d", None, "all-to-all", "")
+    nan = float("nan")
+    report = compare(
+        {key: {"mpki": nan}}, {key: {"mpki": nan}}, counters=["mpki"]
+    )
+    assert report["ok"]
+    report = compare(
+        {key: {"mpki": nan}}, {key: {"mpki": 1.0}}, counters=["mpki"]
+    )
+    assert not report["ok"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, manifest_csv, capsys):
+    rows = [list(row) for row in ROWS]
+    rows[0][2] = "%.6f" % (float(rows[0][2]) * 1.02)
+    cand = tmp_path / "cand.csv"
+    _write_csv(str(cand), rows)
+    assert main(["diff", manifest_csv, manifest_csv]) == 0
+    assert main(["diff", manifest_csv, str(cand)]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: FAIL" in out
+
+
+def test_cli_json_output(manifest_csv, capsys):
+    assert main(["diff", manifest_csv, manifest_csv, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["aligned"] == 3
+
+
+def test_cli_unreadable_manifest_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="repro diff"):
+        main(["diff", str(tmp_path / "nope.csv"), str(tmp_path / "nope.csv")])

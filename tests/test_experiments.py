@@ -243,3 +243,60 @@ class TestFigures:
 
         result = figure16(runner, workloads=["GUPS"])
         assert result.rows[0][1] == 1.0
+
+
+class TestGmeanDiagnostics:
+    """A zero/nan normalized value must be named, not leaked as an index."""
+
+    def test_gmean_row_names_offending_workload(self):
+        from repro.experiments.figures import _gmean_row
+
+        rows = [
+            ["GUPS", 1.0, 2.0],
+            ["SPMV", 1.0, float("nan")],
+            ["BFS", 1.0, 0.0],
+        ]
+        headers = ["workload", "private", "shared"]
+        with pytest.raises(ValueError) as excinfo:
+            _gmean_row("Gmean", rows, [1, 2], headers=headers)
+        message = str(excinfo.value)
+        assert "SPMV" in message or "BFS" in message
+        assert "shared" in message  # the column is named too
+        assert "index" not in message  # no bare positional leakage
+
+    def test_gmean_row_still_computes_clean_columns(self):
+        from repro.experiments.figures import _gmean_row
+
+        rows = [["A", 1.0, 4.0], ["B", 4.0, 1.0]]
+        label, private, shared = _gmean_row("Gmean", rows, [1, 2])
+        assert label == "Gmean"
+        assert private == pytest.approx(2.0)
+        assert shared == pytest.approx(2.0)
+
+    def test_scaling_gmean_names_design_and_config(self):
+        from types import SimpleNamespace
+
+        from repro.experiments.figures import extension_scaling
+
+        class ZeroSharedRunner:
+            def prefetch(self, *args, **kwargs):
+                pass
+
+            def run(self, workload, design_name, overrides=None, mult=1):
+                throughput = 0.0 if design_name == "shared" else 1.0
+                return SimpleNamespace(
+                    throughput=throughput, avg_translation_hops=0.0
+                )
+
+        with pytest.raises(ValueError) as excinfo:
+            extension_scaling(
+                ZeroSharedRunner(),
+                workloads=["GUPS", "SPMV"],
+                chiplets=[4],
+                topologies=["ring"],
+                designs=["private", "shared", "mgvm"],
+            )
+        message = str(excinfo.value)
+        assert "'shared'" in message
+        assert "4" in message and "ring" in message  # the config
+        assert "GUPS" in message and "SPMV" in message  # the workloads

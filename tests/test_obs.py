@@ -154,6 +154,42 @@ class TestMetricsRecorder:
             assert 0.0 <= row["hit_rate"] <= 1.0
             assert row["walk_queue_depth"] >= 0
 
+    def test_mshr_occupancy_tracking(self, tmp_path):
+        """The mshr_occupancy hook feeds hwm + time-weighted mean."""
+        import csv
+
+        from repro.obs.metrics import FIELDS
+
+        kernel = build_kernel("GUPS", scale="smoke")
+        params = scaled_params("smoke")
+        recorder = MetricsRecorder(sample_every=500)
+        simulate(kernel, params, design("mgvm"), probe=recorder)
+        for row in recorder.rows:
+            # window invariants: hwm bounds both the instantaneous
+            # occupancy and the time-weighted mean, nothing negative.
+            assert 0 <= row["mshr_occupancy"] <= row["mshr_hwm"]
+            assert 0.0 <= row["mshr_mean"] <= row["mshr_hwm"] + 1e-9
+        assert any(row["mshr_hwm"] > 0 for row in recorder.rows)
+        # run-level rollup in summary(): per-chiplet lists, hwm >= mean.
+        summary = recorder.summary()
+        assert len(summary["mshr_hwm"]) == params.num_chiplets
+        assert len(summary["mshr_mean"]) == params.num_chiplets
+        assert any(hwm > 0 for hwm in summary["mshr_hwm"])
+        for hwm, mean in zip(summary["mshr_hwm"], summary["mshr_mean"]):
+            assert 0.0 <= mean <= hwm
+        # final snapshot: every MSHR drained.
+        final = [row for row in recorder.rows if row["event"] == "final"]
+        assert final and all(row["mshr_occupancy"] == 0 for row in final)
+        # CSV round-trip carries the new columns.
+        path = tmp_path / "metrics.csv"
+        recorder.write_csv(str(path))
+        with open(str(path), newline="") as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == FIELDS
+            rows = list(reader)
+        assert rows
+        assert {"mshr_hwm", "mshr_mean"} <= set(rows[0])
+
     def test_recorder_sees_every_balance_switch(self, tmp_path):
         kernel = build_kernel("SYR2", scale="smoke")
         params = scaled_params("smoke")

@@ -1,0 +1,175 @@
+"""Static contract checks for the null-object probe fabric.
+
+The probe pattern's failure mode is *silence*: a component invoking a
+misspelled hook (``probe.respnd``) still works — ``Probe`` has no such
+attribute, so it raises at bind time only if the code path runs; a probe
+subclass *defining* a misspelled hook simply never fires.  These tests
+close both holes statically:
+
+* every ``probe.<name>`` attribute the simulator sources bind or call
+  must exist on :class:`repro.obs.Probe`;
+* every hook must be bound somewhere in the simulator (no dead hooks);
+* every hook-like public method on a concrete probe must override a
+  real hook (typos are caught by fuzzy matching);
+* the hook inventory matches the documented protocol (19 hooks, each
+  named in :mod:`repro.obs.probe`'s docstring table).
+"""
+
+import ast
+import difflib
+import inspect
+import os
+
+import repro
+from repro.obs import AuditProbe, MetricsRecorder, MultiProbe, Probe, TraceProbe
+from repro.obs import probe as probe_module
+
+SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+#: The real hook inventory, derived from the protocol class itself.
+HOOKS = {
+    name
+    for name, member in vars(Probe).items()
+    if inspect.isfunction(member) and not name.startswith("_")
+} - {"attach"}
+
+#: Non-hook probe API any scan may legitimately touch.
+LIFECYCLE = {"attach"}
+
+
+def _python_files(root, exclude_dirs=()):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in ("__pycache__",)]
+        if any(part in exclude_dirs for part in dirpath.split(os.sep)):
+            continue
+        for filename in filenames:
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _probe_attribute_accesses(path):
+    """``(attr, lineno)`` for every ``<probe>.attr`` access in ``path``.
+
+    A base expression counts as a probe when it is a bare name equal to
+    ``probe``/``_probe`` or an attribute access ending in ``.probe``
+    (``self.probe``, ``sim.probe``, ...).
+    """
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        base = node.value
+        is_probe = (
+            isinstance(base, ast.Name) and base.id in ("probe", "_probe")
+        ) or (isinstance(base, ast.Attribute) and base.attr == "probe")
+        if is_probe:
+            found.append((node.attr, node.lineno))
+    return found
+
+
+def test_every_invoked_hook_exists_on_probe():
+    unknown = []
+    for path in _python_files(SRC_ROOT):
+        for attr, lineno in _probe_attribute_accesses(path):
+            if attr not in HOOKS | LIFECYCLE:
+                unknown.append(
+                    "%s:%d: probe.%s is not a Probe hook"
+                    % (os.path.relpath(path, SRC_ROOT), lineno, attr)
+                )
+    assert not unknown, "\n".join(unknown)
+
+
+def test_every_hook_is_bound_by_the_simulator():
+    """No dead hooks: each protocol method is sourced outside repro.obs.
+
+    (The obs package is excluded because MultiProbe fans every hook out
+    by definition — it would vacuously satisfy this check.)
+    """
+    bound = set()
+    for path in _python_files(SRC_ROOT, exclude_dirs=("obs",)):
+        bound.update(attr for attr, _ in _probe_attribute_accesses(path))
+    dead = HOOKS - bound
+    assert not dead, (
+        "hooks defined on Probe but never bound by any simulator "
+        "component: %s" % sorted(dead)
+    )
+
+
+def _suffix_of_some_hook(suffix):
+    """Pre-bound slots may shorten the hook name to its last word(s)
+    (``_probe_start`` binds ``translation_start``, ``_probe_occupancy``
+    binds ``mshr_occupancy``): the suffix must still match a real hook."""
+    return any(
+        hook == suffix or hook.endswith("_" + suffix) for hook in HOOKS
+    )
+
+
+def test_prebound_hook_attributes_name_real_hooks():
+    """``self._probe_<name>`` slots must correspond to real hooks."""
+    bad = []
+    for path in _python_files(SRC_ROOT):
+        with open(path) as handle:
+            tree = ast.parse(handle.read(), filename=path)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr.startswith("_probe_")
+                and not _suffix_of_some_hook(node.attr[len("_probe_"):])
+            ):
+                bad.append(
+                    "%s:%d: %s does not name a Probe hook"
+                    % (
+                        os.path.relpath(path, SRC_ROOT),
+                        node.lineno,
+                        node.attr,
+                    )
+                )
+    assert not bad, "\n".join(bad)
+
+
+def test_probe_subclasses_do_not_define_almost_hooks():
+    """A public method that fuzzily matches a hook must *be* that hook."""
+    problems = []
+    for cls in (TraceProbe, MetricsRecorder, AuditProbe, MultiProbe):
+        for name, member in vars(cls).items():
+            if name.startswith("_") or not inspect.isfunction(member):
+                continue
+            if name in HOOKS or name in LIFECYCLE:
+                continue
+            close = difflib.get_close_matches(name, HOOKS, n=1, cutoff=0.8)
+            if close:
+                problems.append(
+                    "%s.%s looks like a typo of hook %r and would "
+                    "silently never fire" % (cls.__name__, name, close[0])
+                )
+    assert not problems, "\n".join(problems)
+
+
+def test_hook_signatures_match_the_protocol():
+    """Overridden hooks must accept the protocol's exact signature."""
+    mismatched = []
+    for cls in (TraceProbe, MetricsRecorder, AuditProbe, MultiProbe):
+        for name in HOOKS | LIFECYCLE:
+            override = vars(cls).get(name)
+            if override is None:
+                continue
+            protocol = inspect.signature(getattr(Probe, name))
+            actual = inspect.signature(override)
+            if list(protocol.parameters) != list(actual.parameters):
+                mismatched.append(
+                    "%s.%s%s != Probe.%s%s"
+                    % (cls.__name__, name, actual, name, protocol)
+                )
+    assert not mismatched, "\n".join(mismatched)
+
+
+def test_hook_inventory_is_documented():
+    """19 hooks, every one named in the probe module's docstring table."""
+    assert len(HOOKS) == 19, sorted(HOOKS)
+    doc = probe_module.__doc__
+    missing = [name for name in HOOKS if "``%s``" % name not in doc]
+    assert not missing, (
+        "hooks missing from the probe.py docstring table: %s" % missing
+    )
