@@ -40,6 +40,10 @@ class TranslationSystem:
         self.balance = balance
         self.fault_handler = launch.fault_handler
         self.fault_latency = params.fault_latency
+        # Hot-path hoists: request() runs once per L1 TLB miss (the
+        # dominant event class for low-locality workloads), so the
+        # attribute chains are resolved once here.
+        self._page_size = launch.geometry.page_size
         # Observability hooks (pre-bound no-ops when probes are off).
         self.probe = probe
         self._probe_start = probe.translation_start
@@ -70,8 +74,15 @@ class TranslationSystem:
         return self.dynamic_hsl.coarse_home(va)
 
     def request(self, cu, vpn, t, callback):
-        """Route an L1 TLB miss from ``cu`` detected at time ``t``."""
-        va = vpn * self.geometry.page_size
+        """Route an L1 TLB miss from ``cu`` detected at time ``t``.
+
+        From here until ``callback`` fires, the request is continuously
+        represented by queued engine events (each step below schedules
+        the next), which is the invariant that lets the CU's fused fast
+        path prove its safety window with one queue query — see
+        :class:`repro.sim.request.TranslationRequest`.
+        """
+        va = vpn * self._page_size
         origin = cu.chiplet
         req = TranslationRequest(vpn, va, origin, cu, t, callback)
         self._probe_start(req)

@@ -12,6 +12,14 @@ Traces are numpy arrays of virtual addresses *relative to nothing* — the
 trace function receives a :class:`TraceContext` with the base VA of each
 allocation as laid out by the driver's aligning allocator, so the same
 workload replays identically under every placement policy.
+
+Dtype contract: trace functions must return **integer** numpy arrays
+(the helpers below all produce ``int64``).  The CU vectorizes the
+per-page decomposition at CTA-enqueue time — ``trace >> page_shift``
+and ``trace & offset_mask`` over the whole array, see
+:meth:`repro.sim.cu.ComputeUnit.add_cta` — so bitwise ops on float
+arrays would raise, and non-numpy sequences would silently lose the
+vectorization.
 """
 
 from dataclasses import dataclass, field

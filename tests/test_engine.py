@@ -1,9 +1,14 @@
 """Tests for the discrete-event engine."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.engine.event_queue import Engine, EventQueue
+from repro.engine.event_queue import (
+    CalendarEventQueue,
+    Engine,
+    EventQueue,
+    HeapEventQueue,
+)
 from repro.engine.resources import Timeline, TokenPool
 
 
@@ -166,6 +171,207 @@ class TestEngine:
             return log
 
         assert build_and_run() == build_and_run()
+
+
+def _engine_with(queue):
+    engine = Engine()
+    engine.events = queue
+    return engine
+
+
+# Time strategies exercising every calendar regime: the live run
+# (tick 0), near-future wheel buckets, the wheel horizon boundary, and
+# far-future overflow (>= _WHEEL_SIZE ticks away), plus fractional
+# timestamps that stress the descending-run/staging logic.
+_near_times = st.integers(0, 40).map(float)
+_fractional_times = st.floats(
+    0, 40, allow_nan=False, allow_infinity=False
+)
+_far_times = st.integers(900, 40_000).map(float)
+_any_time = st.one_of(_near_times, _fractional_times, _far_times)
+
+
+class TestQueueDisciplineEquivalence:
+    """The calendar queue must be observationally identical to the heap:
+    same pop order — exact ``(time, seq)`` ascending, FIFO among ties —
+    same stopping-rule behaviour, and the same ``no_event_before``
+    answers.  The heap is the oracle (satellite of ISSUE 5)."""
+
+    @given(st.lists(_any_time, min_size=1, max_size=120))
+    def test_static_schedule_pops_identically(self, times):
+        heap_q, cal_q = HeapEventQueue(), CalendarEventQueue()
+        for i, t in enumerate(times):
+            heap_q.push(t, i)
+            cal_q.push(t, i)
+        heap_order = [heap_q.pop() for _ in range(len(times))]
+        cal_order = [cal_q.pop() for _ in range(len(times))]
+        assert heap_order == cal_order
+
+    def test_dense_ties_with_far_future_outliers(self):
+        heap_q, cal_q = HeapEventQueue(), CalendarEventQueue()
+        schedule = (
+            [(5.0, i) for i in range(50)]  # dense tie block
+            + [(30_000.0, 100 + i) for i in range(3)]  # overflow outliers
+            + [(5.0, 200 + i) for i in range(50)]  # more ties, later seqs
+            + [(5.5, 300), (4.0, 301)]  # fractional + earlier
+        )
+        for t, label in schedule:
+            heap_q.push(t, label)
+            cal_q.push(t, label)
+        n = len(schedule)
+        assert [heap_q.pop() for _ in range(n)] == [
+            cal_q.pop() for _ in range(n)
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                _any_time,
+                st.lists(
+                    st.one_of(
+                        st.just(0.0),
+                        st.floats(0, 5, allow_nan=False),
+                        st.integers(1, 3000).map(float),
+                    ),
+                    max_size=3,
+                ),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(deadline=None)
+    def test_reentrant_pushes_dispatch_identically(self, program):
+        """Callbacks that push new events mid-drain (including zero-delay
+        same-tick re-entrant pushes, the simulator's dominant pattern)
+        must interleave identically on both disciplines."""
+
+        def run(queue):
+            engine = _engine_with(queue)
+            log = []
+            counter = [0]
+
+            def make(label, delays):
+                def cb():
+                    log.append((engine.now, label))
+                    for d in delays:
+                        child = counter[0]
+                        counter[0] += 1
+                        engine.after(d, make(child, ()))
+
+                return cb
+
+            for i, (t, delays) in enumerate(program):
+                engine.at(t, make(("root", i), delays))
+            engine.run()
+            return log
+
+        assert run(HeapEventQueue()) == run(CalendarEventQueue())
+
+    @given(
+        st.lists(_any_time, min_size=1, max_size=60),
+        st.floats(0, 45_000, allow_nan=False),
+        st.integers(0, 70),
+    )
+    @settings(deadline=None)
+    def test_until_and_max_events_stop_identically(
+        self, times, until, max_events
+    ):
+        """``run(until=..., max_events=...)`` must execute the same count
+        and the same events on both disciplines, and resuming afterwards
+        must drain the same remainder."""
+
+        def run(queue):
+            engine = _engine_with(queue)
+            log = []
+            for i, t in enumerate(times):
+                engine.at(t, lambda i=i: log.append((engine.now, i)))
+            first = engine.run(until=until, max_events=max_events)
+            marker = len(log)
+            rest = engine.run()
+            return first, marker, rest, log
+
+        assert run(HeapEventQueue()) == run(CalendarEventQueue())
+
+    @given(
+        st.lists(_any_time, min_size=0, max_size=60),
+        st.integers(0, 60),
+        st.lists(
+            st.one_of(
+                _any_time, st.floats(0, 45_000, allow_nan=False)
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    def test_no_event_before_is_exact_on_both(self, times, pops, probes):
+        """``no_event_before`` — the query behind the fused fast path's
+        provable-safety window — must be exact and discipline-agnostic,
+        including after pops have advanced the calendar's wheel."""
+        heap_q, cal_q = HeapEventQueue(), CalendarEventQueue()
+        for i, t in enumerate(times):
+            heap_q.push(t, i)
+            cal_q.push(t, i)
+        pops = min(pops, len(times))
+        for _ in range(pops):
+            assert heap_q.pop() == cal_q.pop()
+        remaining = sorted(times)[pops:]
+        for probe in probes:
+            oracle = not remaining or remaining[0] >= probe
+            assert heap_q.no_event_before(probe) is oracle
+            assert cal_q.no_event_before(probe) is oracle
+
+    @given(st.lists(_any_time, min_size=1, max_size=60))
+    def test_len_and_peek_agree(self, times):
+        heap_q, cal_q = HeapEventQueue(), CalendarEventQueue()
+        for i, t in enumerate(times):
+            heap_q.push(t, i)
+            cal_q.push(t, i)
+            assert len(heap_q) == len(cal_q)
+            assert heap_q.peek_time() == cal_q.peek_time()
+        while len(heap_q):
+            assert heap_q.peek_time() == cal_q.peek_time()
+            assert heap_q.pop() == cal_q.pop()
+        assert cal_q.peek_time() is None
+
+
+class TestStoppingRulesPerDiscipline:
+    """`run(until=...)` / `run(max_events=...)` semantics pinned down on
+    each discipline directly (not just by cross-equivalence)."""
+
+    @pytest.fixture(params=[HeapEventQueue, CalendarEventQueue])
+    def engine(self, request):
+        return _engine_with(request.param())
+
+    def test_until_is_inclusive(self, engine):
+        seen = []
+        engine.at(5.0, lambda: seen.append("at"))
+        engine.at(5.5, lambda: seen.append("after"))
+        engine.run(until=5.0)
+        assert seen == ["at"]
+
+    def test_max_events_counts_reentrant_pushes(self, engine):
+        seen = []
+
+        def chain(i):
+            seen.append(i)
+            engine.after(0.0, lambda: chain(i + 1))
+
+        engine.at(0.0, lambda: chain(0))
+        executed = engine.run(max_events=4)
+        assert executed == 4
+        assert seen == [0, 1, 2, 3]
+
+    def test_far_future_event_after_long_idle_gap(self, engine):
+        seen = []
+        engine.at(1.0, lambda: engine.at(50_000.0, lambda: seen.append(1)))
+        engine.run()
+        assert seen == [1]
+        assert engine.now == 50_000.0
+
+    def test_run_on_empty_queue_returns_zero(self, engine):
+        assert engine.run() == 0
+        assert engine.run(until=10.0) == 0
 
 
 class TestTimeline:
