@@ -44,7 +44,12 @@ import sys
 import time
 
 from repro.obs import NULL_PROBE, AuditProbe, TraceProbe
-from bench_engine_hotpath import drive_engine, host_fingerprint, run_smoke_sim
+from bench_engine_hotpath import (
+    drive_engine,
+    host_fingerprint,
+    run_smoke_sim,
+    select_baseline_snapshot,
+)
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -87,30 +92,37 @@ ROUNDS = 3
 ENGINE_ROUNDS = 7
 
 
+def _baseline_snapshot(path=BASELINE_PATH):
+    """The guard baseline: stale entries skipped, same host preferred.
+
+    Delegates to :func:`bench_engine_hotpath.select_baseline_snapshot`
+    so both perf guards agree on which snapshot they measure against
+    (and both can say which one they picked).
+    """
+    snapshot, description = select_baseline_snapshot(path)
+    return snapshot, description
+
+
 def _baseline_field(field, path=BASELINE_PATH):
-    """The last recorded snapshot's ``field``, or None if unavailable."""
+    """The selected baseline's ``field``, or None if unavailable."""
+    snapshot, _description = _baseline_snapshot(path)
     try:
-        with open(path) as handle:
-            history = json.load(handle)
-        return float(history[-1][field])
-    except (OSError, ValueError, KeyError, IndexError, TypeError):
+        return float(snapshot[field])
+    except (TypeError, KeyError, ValueError):
         return None
 
 
 def baseline_same_host(path=BASELINE_PATH):
-    """True iff the last snapshot was measured on this host.
+    """True iff the selected baseline was measured on this host.
 
     Records without a ``host`` stamp (pre-fingerprint trajectory
     entries) count as cross-host: there is no evidence they are
     comparable, so the guards take the wide margin.
     """
-    try:
-        with open(path) as handle:
-            history = json.load(handle)
-        recorded = history[-1].get("host")
-    except (OSError, ValueError, KeyError, IndexError, AttributeError):
+    snapshot, _description = _baseline_snapshot(path)
+    if not isinstance(snapshot, dict):
         return False
-    return recorded == host_fingerprint()
+    return snapshot.get("host") == host_fingerprint()
 
 
 def _engine_margin(path=BASELINE_PATH):
@@ -175,7 +187,9 @@ def measure(rounds=ROUNDS):
     traced = _time_smoke(lambda: TraceProbe(max_spans=100000), rounds=rounds)
     audited = _time_smoke(lambda: AuditProbe(), rounds=rounds)
     baseline_smoke = baseline_smoke_seconds()
+    _snapshot, selected = _baseline_snapshot()
     return {
+        "baseline_selected": selected,
         "baseline_same_host": baseline_same_host(),
         "baseline_events_per_sec": baseline,
         "engine_events_per_sec": round(eps, 1),

@@ -1,0 +1,181 @@
+"""Engine-equivalence matrix: every engine mode, identical results.
+
+The simulator offers three interchangeable event-engine disciplines:
+
+* the default — :class:`~repro.engine.event_queue.CalendarEventQueue`
+  with the CU's fused fast path enabled;
+* the oracle — :class:`~repro.engine.event_queue.HeapEventQueue` with
+  fusion disabled (``REPRO_ENGINE_QUEUE=heap REPRO_SIM_FUSE=0``), the
+  simplest possible schedule;
+* the sharded engine — per-chiplet shards merged in exact global
+  ``(time, seq)`` order (``REPRO_ENGINE_SHARDS=auto``).
+
+All three must produce **equal** :class:`RunStats` (dataclass ``==`` —
+every counter and every float, no tolerance) on every configuration.
+This script sweeps workloads x designs x geometries x contention and
+verifies exactly that:
+
+    6 workloads x 4 designs x 4 geometries x 2 contention = 192 configs,
+    each compared across 3 engine modes.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/equivalence_matrix.py          # full 192
+    PYTHONPATH=src python scripts/equivalence_matrix.py --quick  # CI subset
+    PYTHONPATH=src python scripts/equivalence_matrix.py --list   # show configs
+
+``--quick`` covers every workload, every design, every geometry and
+both contention settings at least once (a spanning subset, not a
+product), keeping the CI cost to a dozen configurations.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+WORKLOADS = ("GUPS", "J2D", "SPMV", "SYRK", "PR", "RED")
+DESIGNS = ("private", "shared", "mgvm-nobalance", "mgvm")
+#: (topology, chiplets) pairs: the paper's all-to-all, plus the routed
+#: geometries whose cross-shard latencies differ per pair.
+GEOMETRIES = (
+    ("all-to-all", 4),
+    ("ring", 8),
+    ("mesh", 4),
+    ("dual-package", 8),
+)
+CONTENTION = (False, True)
+
+#: Engine modes: name -> environment overrides.
+MODES = (
+    ("default", {"REPRO_ENGINE_QUEUE": None, "REPRO_SIM_FUSE": None,
+                 "REPRO_ENGINE_SHARDS": None}),
+    ("heap-oracle", {"REPRO_ENGINE_QUEUE": "heap", "REPRO_SIM_FUSE": "0",
+                     "REPRO_ENGINE_SHARDS": None}),
+    ("sharded", {"REPRO_ENGINE_QUEUE": None, "REPRO_SIM_FUSE": None,
+                 "REPRO_ENGINE_SHARDS": "auto"}),
+)
+
+
+def configs(quick=False):
+    """The swept configurations as (workload, design, topology, n, contended)."""
+    out = [
+        (workload, design_name, topology, chiplets, contended)
+        for workload in WORKLOADS
+        for design_name in DESIGNS
+        for topology, chiplets in GEOMETRIES
+        for contended in CONTENTION
+    ]
+    if not quick:
+        return out
+    # Spanning subset: stripe designs/geometries/contention across the
+    # workload list so every axis value appears at least once.
+    subset = []
+    for index, workload in enumerate(WORKLOADS):
+        design_name = DESIGNS[index % len(DESIGNS)]
+        topology, chiplets = GEOMETRIES[index % len(GEOMETRIES)]
+        subset.append((workload, design_name, topology, chiplets,
+                       CONTENTION[index % len(CONTENTION)]))
+        # Second stripe with the axes rotated, contention flipped.
+        design_name = DESIGNS[(index + 1) % len(DESIGNS)]
+        topology, chiplets = GEOMETRIES[(index + 2) % len(GEOMETRIES)]
+        subset.append((workload, design_name, topology, chiplets,
+                       CONTENTION[(index + 1) % len(CONTENTION)]))
+    return subset
+
+
+def _apply_env(overrides):
+    for key, value in overrides.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def run_config(workload, design_name, topology, chiplets, contended, seed=0):
+    """One config under every engine mode; returns {mode: RunStats}."""
+    from repro.arch.params import scaled_params
+    from repro.core.config import design
+    from repro.sim.simulator import clear_trace_cache, simulate
+    from repro.workloads.registry import build_kernel
+
+    results = {}
+    for mode, overrides in MODES:
+        _apply_env(overrides)
+        clear_trace_cache()
+        kernel = build_kernel(workload, scale="smoke")
+        kwargs = {"num_chiplets": chiplets, "topology": topology}
+        if contended:
+            kwargs["link_issue_interval"] = 1.0
+        params = scaled_params("smoke", **kwargs)
+        results[mode] = simulate(kernel, params, design(design_name), seed=seed)
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="spanning subset (~%d configs) instead of the full product"
+        % len(configs(quick=True)),
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the configs and exit"
+    )
+    args = parser.parse_args(argv)
+
+    selected = configs(quick=args.quick)
+    if args.list:
+        for config in selected:
+            print("%s %s %s-%d%s" % (
+                config[0], config[1], config[2], config[3],
+                " contended" if config[4] else "",
+            ))
+        return 0
+
+    failures = []
+    start = time.time()
+    for index, (workload, design_name, topology, chiplets, contended) in enumerate(
+        selected
+    ):
+        label = "%s/%s/%s-%d%s" % (
+            workload, design_name, topology, chiplets,
+            "/contended" if contended else "",
+        )
+        results = run_config(workload, design_name, topology, chiplets, contended)
+        reference = results["default"]
+        bad = [
+            mode for mode, stats in results.items()
+            if stats != reference
+        ]
+        status = "ok" if not bad else "MISMATCH(%s)" % ",".join(bad)
+        print("[%3d/%d] %-40s %s" % (index + 1, len(selected), label, status))
+        if bad:
+            failures.append(label)
+            for mode in bad:
+                for field in reference.__dataclass_fields__:
+                    lhs = getattr(reference, field)
+                    rhs = getattr(results[mode], field)
+                    if lhs != rhs:
+                        print("        %s.%s: default=%r %s=%r"
+                              % (mode, field, lhs, mode, rhs))
+    elapsed = time.time() - start
+    print(
+        "%d/%d configs equivalent across %d engine modes in %.1fs"
+        % (len(selected) - len(failures), len(selected), len(MODES), elapsed)
+    )
+    if failures:
+        print("FAILURES:")
+        for label in failures:
+            print("  " + label)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,622 @@
+"""Per-chiplet engine shards with conservative-window synchronization.
+
+The simulated machine is naturally partitioned: each chiplet owns its
+CUs, L1/L2 TLBs, walkers and memory slices, and only interconnect
+messages cross the boundary.  :class:`ShardedEventQueue` mirrors that
+partition in the engine: events are filed on per-chiplet shards (each a
+:class:`~repro.engine.event_queue.CalendarEventQueue`), the dispatch
+loop drains one shard in *bursts* bounded by a conservative window, and
+cross-chiplet events move between shards through per-pair ordered
+mailboxes flushed at burst boundaries.
+
+Exact-order merge — the correctness contract
+--------------------------------------------
+
+The queue keeps **one** machine-wide sequence counter and dispatches in
+exactly global ``(time, seq)`` order:
+
+* every push — local or cross-shard — draws its sequence number from
+  the shared counter at push time, so ties break FIFO machine-wide
+  exactly as in the single-stream disciplines;
+* a burst drains the shard holding the globally earliest event and
+  only while that shard's head key stays below the *window* — the
+  smallest ``(time, seq)`` key held by any other shard or mailbox;
+* a cross-shard push during a burst lands in the target's mailbox and
+  *shrinks the live window* when its key falls below it, so the burst
+  can never run past an event it just created elsewhere.
+
+Dispatch order is therefore identical to the single-stream schedule by
+construction — the same callbacks run at the same times in the same
+order, issue the same pushes in the same order, and draw the same
+sequence numbers.  Bit-identity is not a tolerance claim; it is
+structural (and proven by the property tests in
+``tests/test_sharded.py`` plus ``scripts/equivalence_matrix.py``).
+
+The conservative lookahead
+--------------------------
+
+``lookahead`` is the fabric's minimum cross-chiplet path latency
+(:meth:`repro.arch.interconnect.Interconnect.min_remote_latency`,
+derived from :meth:`repro.arch.topology.Topology.min_path_weight`): no
+message leaving a chiplet can arrive anywhere else sooner.  In the
+exact-order design the window — not the lookahead — is what bounds a
+burst, so the lookahead is *audited* rather than relied upon: every
+cross-shard push must schedule at least ``now + lookahead`` ahead, and
+a violation raises immediately (it would mean some component found a
+faster-than-fabric channel between chiplets — a modelling bug).  The
+lookahead is also what makes burst boundaries predictable enough for
+the optional thread mode to pre-settle peer shards off-thread.
+
+Execution modes
+---------------
+
+``REPRO_ENGINE_SHARDS`` selects sharding (``0``/unset — off, ``auto`` —
+one shard per chiplet, ``N`` — ``min(N, chiplets)`` shards; chiplet
+``c`` maps to shard ``c % N``).  ``REPRO_ENGINE_SHARDS_THREADS=1``
+additionally settles non-current shards on a background worker thread
+between bursts — deterministic (settling is content-neutral: it never
+changes which event pops next, only pre-pays wheel bookkeeping), but on
+a GIL build the win is bounded by the bookkeeping share, not the core
+count; see docs/performance.md.  ``REPRO_ENGINE_QUEUE=heap`` takes
+precedence over both: the heap oracle stays single-stream.
+"""
+
+import os
+import threading
+import time
+from collections import deque
+from heapq import heappop, heappush
+
+from repro.engine.event_queue import CalendarEventQueue
+
+_perf_counter = time.perf_counter
+_INF = float("inf")
+
+#: Head-cache sentinel: "this shard's head key must be recomputed".
+#: Distinct from ``None``, which caches "this shard is known empty".
+_STALE = ()
+
+#: Slack for the cross-shard lookahead audit (float-rounding headroom).
+_AUDIT_TOL = 1e-9
+
+
+def shard_count_from_env(num_chiplets):
+    """Shard count selected by ``REPRO_ENGINE_SHARDS`` (0 = off).
+
+    ``auto`` means one shard per chiplet; an integer is clamped to the
+    chiplet count.  Anything below 2 (including a single-chiplet
+    machine) disables sharding — there is nothing to partition.
+    """
+    raw = os.environ.get("REPRO_ENGINE_SHARDS", "0").strip().lower()
+    if raw in ("", "0", "off", "no", "false"):
+        return 0
+    if raw == "auto":
+        count = num_chiplets
+    else:
+        try:
+            count = int(raw)
+        except ValueError:
+            raise ValueError(
+                "REPRO_ENGINE_SHARDS must be 0, auto, or an integer, "
+                "got %r" % raw
+            )
+        count = min(count, num_chiplets)
+    return count if count >= 2 else 0
+
+
+def threads_enabled_from_env():
+    """Whether the optional worker-thread mode is requested."""
+    raw = os.environ.get("REPRO_ENGINE_SHARDS_THREADS", "0").strip().lower()
+    return raw not in ("", "0", "off", "no", "false")
+
+
+class ShardedEventQueue:
+    """Per-chiplet calendar shards merged in exact global (time, seq) order."""
+
+    __slots__ = (
+        "num_chiplets",
+        "num_shards",
+        "lookahead",
+        "_engine",
+        "_shards",
+        "_shard_of",
+        "_seq",
+        "_push_shard",
+        "_current",
+        "_wt",
+        "_wseq",
+        "_mail",
+        "_mail_count",
+        "_heads",
+        "_stale",
+        "_head_heap",
+        "_audit_lookahead",
+        "_violate_every",
+        "_bursts",
+        "shard_events",
+        "shard_seconds",
+        "_threads",
+        "_locks",
+    )
+
+    def __init__(self, num_chiplets, num_shards, lookahead, engine=None):
+        if num_shards < 2:
+            raise ValueError("need >= 2 shards, got %d" % num_shards)
+        if num_shards > num_chiplets:
+            raise ValueError(
+                "more shards (%d) than chiplets (%d)"
+                % (num_shards, num_chiplets)
+            )
+        self.num_chiplets = num_chiplets
+        self.num_shards = num_shards
+        self.lookahead = float(lookahead)
+        self._engine = engine
+        self._shards = [CalendarEventQueue() for _ in range(num_shards)]
+        self._shard_of = [c % num_shards for c in range(num_chiplets)]
+        self._seq = 0
+        self._push_shard = 0
+        self._current = None
+        self._wt = _INF
+        self._wseq = _INF
+        self._mail = [[] for _ in range(num_shards)]
+        self._mail_count = 0
+        # Burst-select state.  ``_heads[idx]`` caches shard ``idx``'s
+        # ``peek_key()`` (``_STALE`` = must recompute; only a *touched*
+        # shard — push, pop, mailbox flush, or the shard just drained —
+        # can change its head).  ``_stale`` lists the shards to refresh,
+        # and ``_head_heap`` holds ``(time, seq, shard)`` entries merged
+        # by C-level heapq with lazy invalidation: an entry is live iff
+        # it still equals its shard's cached head.  Together they make
+        # burst selection O(log S) in C instead of an O(S) Python scan —
+        # which matters because fine-grained workloads interleave
+        # chiplets so tightly that the average burst is ~1 event.
+        self._heads = [_STALE] * num_shards
+        self._stale = list(range(num_shards))
+        self._head_heap = []
+        # The lookahead invariant is audited on every cross-shard push
+        # (they are rare — one per fabric crossing — so the check is
+        # off the hot path).  Disabled only by the test-only window
+        # violation knob, which breaks ordering on purpose.
+        self._audit_lookahead = self.lookahead > 0.0
+        #: Test-only: every N bursts, deliberately dispatch one event
+        #: from the *wrong* shard (the second-smallest head) to prove
+        #: the observability auditor catches mis-windowed schedules.
+        self._violate_every = 0
+        self._bursts = 0
+        self.shard_events = [0] * num_shards
+        self.shard_seconds = [0.0] * num_shards
+        self._threads = threads_enabled_from_env()
+        self._locks = (
+            [threading.Lock() for _ in range(num_shards)]
+            if self._threads
+            else None
+        )
+
+    # -- sizing / inspection ------------------------------------------------
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards) + self._mail_count
+
+    def shard_profile(self):
+        """Per-shard dispatch totals ``[(shard, chiplets, events, seconds)]``.
+
+        Populated by profiled drains (:meth:`Engine.run_profiled`); the
+        chiplet list shows the modulo assignment when shards < chiplets.
+        """
+        rows = []
+        for idx in range(self.num_shards):
+            chiplets = [
+                c for c in range(self.num_chiplets)
+                if self._shard_of[c] == idx
+            ]
+            rows.append(
+                (idx, chiplets, self.shard_events[idx], self.shard_seconds[idx])
+            )
+        return rows
+
+    # -- scheduling ---------------------------------------------------------
+
+    def set_push_shard(self, chiplet):
+        """Chiplet whose shard receives hint-less pushes from here on.
+
+        Components that schedule from *outside* any event (e.g.
+        :meth:`repro.sim.cu.ComputeUnit.start` seeding the first issue
+        events) name their chiplet so the seeds land on the right
+        shard.  During dispatch the bursting shard is the implicit
+        context, exactly as a single-threaded actor model would have
+        it.  Routing is a locality hint only — exact global order makes
+        misplacement a performance wrinkle, never a correctness bug.
+        """
+        self._push_shard = self._shard_of[chiplet]
+
+    def _mark_stale(self, shard):
+        """Flag a touched shard's cached head for recomputation."""
+        heads = self._heads
+        if heads[shard] is not _STALE:
+            heads[shard] = _STALE
+            self._stale.append(shard)
+
+    def push(self, time, callback):
+        """Schedule on the current context's shard (see above)."""
+        seq = self._seq
+        self._seq = seq + 1
+        shard = self._push_shard
+        heads = self._heads
+        if heads[shard] is not _STALE:
+            heads[shard] = _STALE
+            self._stale.append(shard)
+        self._shards[shard].push_seq(time, seq, callback)
+
+    def push_on(self, chiplet, time, callback):
+        """Schedule on ``chiplet``'s shard (cross-shard goes via mailbox)."""
+        seq = self._seq
+        self._seq = seq + 1
+        target = self._shard_of[chiplet]
+        current = self._current
+        if current is None or target == current:
+            heads = self._heads
+            if heads[target] is not _STALE:
+                heads[target] = _STALE
+                self._stale.append(target)
+            self._shards[target].push_seq(time, seq, callback)
+            return
+        # Cross-shard push mid-burst: file in the target's mailbox (the
+        # peer's calendar stays untouched while it may be pre-settling
+        # on the worker thread) and shrink the live window if the new
+        # event precedes it — the burst must not run past an event it
+        # just created.  The new seq is the largest ever issued, so a
+        # time tie can never undercut the window.
+        if self._audit_lookahead:
+            floor = self._engine.now + self.lookahead - _AUDIT_TOL
+            if time < floor:
+                raise AssertionError(
+                    "conservative-window violation: cross-shard event at "
+                    "t=%r is inside the lookahead window (now=%r + "
+                    "lookahead=%r); some component bypassed the fabric"
+                    % (time, self._engine.now, self.lookahead)
+                )
+        self._mail[target].append((time, seq, callback))
+        self._mail_count += 1
+        if time < self._wt:
+            self._wt = time
+            self._wseq = seq
+
+    def _flush_mail(self):
+        """Deliver mailboxed events into their shards (burst boundary)."""
+        shards = self._shards
+        locks = self._locks
+        heads = self._heads
+        stale = self._stale
+        for target, box in enumerate(self._mail):
+            if not box:
+                continue
+            if heads[target] is not _STALE:
+                heads[target] = _STALE
+                stale.append(target)
+            shard = shards[target]
+            if locks is not None:
+                with locks[target]:
+                    for item in box:
+                        shard.push_seq(item[0], item[1], item[2])
+            else:
+                for item in box:
+                    shard.push_seq(item[0], item[1], item[2])
+            del box[:]
+        self._mail_count = 0
+
+    # -- queries (exact under sharding) -------------------------------------
+
+    def no_event_before(self, time):
+        """True iff no queued event anywhere is strictly before ``time``.
+
+        Exact and machine-wide, like the single-stream disciplines —
+        which is what keeps fused-fast-path decisions (and therefore
+        results) independent of the engine mode.  Mid-burst this is two
+        comparisons: the live window already summarizes every other
+        shard and mailbox, leaving only the bursting shard's own head.
+        """
+        current = self._current
+        if current is not None:
+            if self._wt < time:
+                return False
+            key = self._shards[current].peek_key()
+            return key is None or key[0] >= time
+        if self._mail_count:
+            self._flush_mail()
+        for shard in self._shards:
+            if not shard.no_event_before(time):
+                return False
+        return True
+
+    def fusion_horizon(self):
+        """Earliest queued event time machine-wide (``None`` if empty)."""
+        current = self._current
+        if current is not None:
+            key = self._shards[current].peek_key()
+            horizon = key[0] if key is not None else _INF
+            if self._wt < horizon:
+                horizon = self._wt
+            return None if horizon == _INF else horizon
+        if self._mail_count:
+            self._flush_mail()
+        horizon = _INF
+        for shard in self._shards:
+            head = shard.peek_time()
+            if head is not None and head < horizon:
+                horizon = head
+        return None if horizon == _INF else horizon
+
+    def peek_time(self):
+        """Time of the earliest event machine-wide (``None`` if empty)."""
+        return self.fusion_horizon()
+
+    def pop(self):
+        """Remove and return the earliest ``(time, callback)`` machine-wide."""
+        if self._mail_count:
+            self._flush_mail()
+        best = None
+        best_key = None
+        for idx, shard in enumerate(self._shards):
+            key = shard.peek_key()
+            if key is not None and (best_key is None or key < best_key):
+                best, best_key = idx, key
+        if best is None:
+            raise IndexError("pop from an empty event queue")
+        self._mark_stale(best)
+        return self._shards[best].pop()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def drain(self, engine, until=None, max_events=None, record=None):
+        """Dispatch events in exact global order; see :meth:`Engine.run`.
+
+        Burst discipline: pick the shard with the globally earliest
+        head, drain it while its head key stays below the window (the
+        smallest key any other shard or mailbox holds), then flush
+        mailboxes and re-select.  Window maintenance during a burst is
+        pops-from-current only (other heads cannot change) plus the
+        live shrink in :meth:`push_on` — so the per-event cost over the
+        single-stream calendar loop is one key comparison.
+        """
+        self._engine = engine
+        shards = self._shards
+        violate_every = self._violate_every
+        if violate_every:
+            # The knob exists to break ordering on purpose; the
+            # lookahead audit would (rightly) trip on the fallout.
+            self._audit_lookahead = False
+        fast = (
+            until is None
+            and max_events is None
+            and record is None
+            and not violate_every
+        )
+        worker = _SettleWorker(self) if self._threads else None
+        executed = 0
+        perf = _perf_counter
+        try:
+            heads = self._heads
+            stale = self._stale
+            locks = self._locks
+            # Re-seed the select state: a previous drain may have exited
+            # mid-select (an ``until``/``max_events`` stop pops the best
+            # entry off the head heap before the budget check fires), and
+            # external ``pop()`` calls bypass the heap entirely.  One
+            # O(shards) refresh per ``run()`` call restores the invariant
+            # that every non-empty shard is represented.
+            self._head_heap = heap = []
+            del stale[:]
+            for idx in range(self.num_shards):
+                heads[idx] = _STALE
+                stale.append(idx)
+            while True:
+                # ---- select: flush mail, refresh stale heads, pick the
+                # global minimum and the second-best key (the window) out
+                # of the head heap.  Heap entries are (time, seq, shard)
+                # with lazy invalidation: live iff equal to the shard's
+                # cached head.  Dead entries (head changed since the
+                # entry was pushed) pop off harmlessly; a duplicate entry
+                # for the bursting shard can only *shrink* the window,
+                # which is conservative and therefore safe.
+                if self._mail_count:
+                    self._flush_mail()
+                if stale:
+                    for idx in stale:
+                        if locks is not None:
+                            with locks[idx]:
+                                key = shards[idx].peek_key()
+                        else:
+                            key = shards[idx].peek_key()
+                        heads[idx] = key
+                        if key is not None:
+                            heappush(heap, (key[0], key[1], idx))
+                    del stale[:]
+                while heap:
+                    entry = heap[0]
+                    key = heads[entry[2]]
+                    if (
+                        key is not None
+                        and key[0] == entry[0]
+                        and key[1] == entry[1]
+                    ):
+                        break
+                    heappop(heap)
+                if not heap:
+                    return executed
+                best = entry[2]
+                heappop(heap)
+                wt = _INF
+                wseq = _INF
+                while heap:
+                    entry = heap[0]
+                    idx = entry[2]
+                    key = heads[idx]
+                    if (
+                        idx != best
+                        and key is not None
+                        and key[0] == entry[0]
+                        and key[1] == entry[1]
+                    ):
+                        wt = entry[0]
+                        wseq = entry[1]
+                        break
+                    heappop(heap)
+                self._bursts += 1
+                if violate_every and self._bursts % violate_every == 0:
+                    if wt != _INF:
+                        # Test-only mis-window: dispatch the head of the
+                        # *second-best* shard ahead of the true minimum.
+                        for idx, shard in enumerate(shards):
+                            if idx == best:
+                                continue
+                            key = shard.peek_key()
+                            if key is not None and key[0] == wt and key[1] == wseq:
+                                if heads[idx] is not _STALE:
+                                    heads[idx] = _STALE
+                                    stale.append(idx)
+                                t, callback = shard.pop()
+                                engine.now = t
+                                callback()
+                                executed += 1
+                                self.shard_events[idx] += 1
+                                break
+                        # The best shard was not drained, but its heap
+                        # entry was popped during select: restore it so
+                        # the un-drained head stays selectable.
+                        key = heads[best]
+                        if key is not None and key is not _STALE:
+                            heappush(heap, (key[0], key[1], best))
+                        continue
+                cur = shards[best]
+                self._current = best
+                prev_push = self._push_shard
+                self._push_shard = best
+                self._wt = wt
+                self._wseq = wseq
+                if worker is not None:
+                    worker.request(best)
+                lock = locks[best] if locks is not None else None
+                if lock is not None:
+                    lock.acquire()
+                try:
+                    if fast:
+                        # Hot loop: mirrors CalendarEventQueue.drain's
+                        # inline pop-and-dispatch, plus one window
+                        # comparison per event.  ``self._wt`` must be
+                        # re-read every iteration — a cross-shard push
+                        # from the callback we just ran may have shrunk
+                        # the window.
+                        run = cur._run
+                        staged = cur._staged
+                        settle = cur._settle
+                        while True:
+                            if staged:
+                                settle()
+                            if run:
+                                item = run[-1]
+                                t = item[0]
+                                wt = self._wt
+                                if t > wt or (
+                                    t == wt and item[1] > self._wseq
+                                ):
+                                    break
+                                run.pop()
+                                engine.now = t
+                                item[2]()
+                                executed += 1
+                                continue
+                            if not cur._advance():
+                                break
+                    else:
+                        settle = cur._settle
+                        run = cur._run
+                        while settle():
+                            item = run[-1]
+                            t = item[0]
+                            wt = self._wt
+                            if t > wt or (t == wt and item[1] > self._wseq):
+                                break
+                            if until is not None and t > until:
+                                return executed
+                            if max_events is not None and executed >= max_events:
+                                return executed
+                            run.pop()
+                            engine.now = t
+                            callback = item[2]
+                            if record is None:
+                                callback()
+                            else:
+                                start = perf()
+                                callback()
+                                elapsed = perf() - start
+                                record(callback, elapsed)
+                                self.shard_seconds[best] += elapsed
+                            executed += 1
+                            self.shard_events[best] += 1
+                finally:
+                    if lock is not None:
+                        lock.release()
+                    if heads[best] is not _STALE:
+                        heads[best] = _STALE
+                        stale.append(best)
+                    self._current = None
+                    self._push_shard = prev_push
+                    self._wt = _INF
+                    self._wseq = _INF
+        finally:
+            self._current = None
+            if worker is not None:
+                worker.stop()
+
+
+class _SettleWorker:
+    """Background pre-settler for the optional thread mode.
+
+    Between bursts the main loop names the shard it is about to drain;
+    the worker settles every *other* shard (staged merges + wheel
+    advances) under that shard's lock.  Settling is content-neutral —
+    it computes the same canonical run state the next ``peek_key`` would
+    — so the schedule stays bit-identical; the worker merely moves
+    bookkeeping off the dispatch thread.  One worker, one lock held at
+    a time, mailboxes keep the dispatch thread out of peer shards
+    mid-burst: no lock-ordering cycles are possible.
+    """
+
+    def __init__(self, queue):
+        self._queue = queue
+        self._pending = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-shard-settle", daemon=True
+        )
+        self._thread.start()
+
+    def request(self, current):
+        """Ask for every shard except ``current`` to be pre-settled."""
+        with self._cond:
+            self._pending.clear()
+            for idx in range(self._queue.num_shards):
+                if idx != current:
+                    self._pending.append(idx)
+            self._cond.notify()
+
+    def stop(self):
+        with self._cond:
+            self._stopping = True
+            self._cond.notify()
+        self._thread.join()
+
+    def _loop(self):
+        queue = self._queue
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopping:
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                idx = self._pending.popleft()
+            with queue._locks[idx]:
+                shard = queue._shards[idx]
+                if shard._staged or not shard._run:
+                    shard._settle()

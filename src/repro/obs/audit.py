@@ -106,6 +106,7 @@ class AuditProbe(Probe):
         "_contended",
         "_interconnect",
         "_pair_chk",
+        "_clock_hwm",
     )
 
     def __init__(self, max_violations=200):
@@ -150,6 +151,14 @@ class AuditProbe(Probe):
         # every call).  latency_hi is +inf on contended fabrics, folding
         # the "lower bound only" rule into the same range check.
         self._pair_chk = None
+        # Global dispatch-clock high-water mark.  Per-request
+        # monotonicity (audit_t) cannot see a machine-wide ordering
+        # violation: an out-of-window event dispatched by a buggy
+        # sharded drain still carries its *own* consistent timestamps,
+        # so every per-request chain stays monotone while engine.now
+        # jumps backward between events.  Tracking the maximum observed
+        # engine.now across all hook invocations catches exactly that.
+        self._clock_hwm = float("-inf")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -185,6 +194,36 @@ class AuditProbe(Probe):
         t = self.engine.now if self.engine is not None else 0.0
         self.violations.append(AuditViolation(kind, t, message, detail))
 
+    def _clock(self, what):
+        """Engine-clock monotonicity: dispatch time must never regress.
+
+        Called from hooks that fire inside event dispatch.  The sharded
+        engine's burst windows guarantee machine-wide ``(time, seq)``
+        dispatch order, so ``engine.now`` is non-decreasing across *all*
+        events — a regression below the high-water mark means an event
+        escaped its conservative window.
+        """
+        engine = self.engine
+        if engine is None:
+            return  # hook stream driven directly (unit tests)
+        now = engine.now
+        hwm = self._clock_hwm
+        if now >= hwm:
+            if now > hwm:
+                self._clock_hwm = now
+            self.checks_passed += 1
+            return
+        if now < hwm - _TOL:
+            self._violate(
+                "engine-clock-regression",
+                "%s dispatched at %.6f after the engine clock already "
+                "reached %.6f (cross-shard ordering violation)"
+                % (what, now, hwm),
+                hook=what,
+                now=now,
+                high_water_mark=hwm,
+            )
+
     # -- CU / routing hooks -------------------------------------------------
 
     def l1_miss(self, cu, vpn):
@@ -194,6 +233,7 @@ class AuditProbe(Probe):
         self.l1_coalesced_count += 1
 
     def translation_start(self, req):
+        self._clock("translation_start")
         self.starts += 1
         try:
             if req.audit_t is not None:
@@ -363,6 +403,7 @@ class AuditProbe(Probe):
     # -- slice hooks --------------------------------------------------------
 
     def slice_arrive(self, req, chiplet):
+        self._clock("slice_arrive")
         try:
             last = req.audit_t
         except AttributeError:
@@ -398,6 +439,7 @@ class AuditProbe(Probe):
         )
 
     def slice_lookup(self, req, chiplet, hit):
+        self._clock("slice_lookup")
         try:
             last = req.audit_t
         except AttributeError:
@@ -552,6 +594,7 @@ class AuditProbe(Probe):
         state[3] += 1
 
     def walk_done(self, record, chiplet):
+        self._clock("walk_done")
         self.walk_dones += 1
         state = self._walks.pop(id(record), None)
         if state is None:
@@ -586,6 +629,7 @@ class AuditProbe(Probe):
     # -- responses ----------------------------------------------------------
 
     def respond(self, req, entry, walk, chiplet, arrive):
+        self._clock("respond")
         try:
             last = req.audit_t
         except AttributeError:

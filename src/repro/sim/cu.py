@@ -62,14 +62,37 @@ and speed do).
 import os
 from collections import deque
 
-from repro.mem.cache import Cache
+from repro.mem.cache import LINE_SIZE, Cache
 from repro.vm.tlb import TLB, TLBEntry
 
-#: Maximum accesses consumed per fused event in single-slot run fusion.
-#: Correctness does not depend on this bound (no other actor can touch
-#: the CU's private structures); it only keeps single events short for
-#: profiler attribution and engine fairness.
+
+def _env_positive(name, default, cast):
+    """A positive numeric environment override (falls back on junk)."""
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            value = cast(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return default
+
+
+#: Initial accesses consumed per fused event in single-slot run fusion.
+#: Correctness does not depend on this bound (every fused segment is
+#: independently stepped-equivalent, whatever its length); it only keeps
+#: single events short for profiler attribution and engine fairness.
+#: The cap adapts per CU: a run that exhausts it doubles it (up to
+#: ``_FUSE_CAP_MAX``), a failed provable-window check halves it (down to
+#: ``_FUSE_CAP_MIN``) — so CUs in long single-actor phases batch-drain
+#: whole windows while CUs in dense phases keep events short.
 _FUSE_RUN_CAP = 64
+
+#: Adaptive-cap bounds.  ``REPRO_SIM_FUSE_MAX`` overrides the ceiling
+#: (values never change simulated results, only event granularity).
+_FUSE_CAP_MIN = 16
+_FUSE_CAP_MAX = _env_positive("REPRO_SIM_FUSE_MAX", 1024, int)
 
 #: After a failed provable-window check, skip further checks on that CU
 #: for this many simulated cycles.  A failed check means the queue is
@@ -82,7 +105,15 @@ _FUSE_RUN_CAP = 64
 #: of simulation history (identical under either queue discipline) and
 #: costs no state write on the skip path.  Host-side only: the value
 #: never changes simulated results, just how often fusion is attempted.
-_FUSE_RETRY_INTERVAL = 128.0
+#: ``REPRO_SIM_FUSE_RETRY`` overrides it (cycles, > 0).
+_FUSE_RETRY_INTERVAL = _env_positive("REPRO_SIM_FUSE_RETRY", 128.0, float)
+
+#: Cache-line shift for the vectorized same-line pre-check (see
+#: :meth:`ComputeUnit.add_cta`).  Two VAs on the same line share their
+#: page, hence their PPN, hence their PA line.
+_LINE_SHIFT = LINE_SIZE.bit_length() - 1
+
+_INF = float("inf")
 
 
 class _WavefrontSlot:
@@ -101,6 +132,7 @@ class _WavefrontSlot:
         "engine",
         "vpns",
         "offs",
+        "sames",
         "length",
         "index",
         "entry",
@@ -115,6 +147,7 @@ class _WavefrontSlot:
         self.engine = cu.engine
         self.vpns = None
         self.offs = None
+        self.sames = None
         self.length = 0
         self.index = 0
         self.entry = None
@@ -130,14 +163,16 @@ class _WavefrontSlot:
         if not cu.cta_queue:
             self.vpns = None
             self.offs = None
+            self.sames = None
             cu._active_slots -= 1
             cu.sim.note_slot_retired()
             return
-        vpns, offs = cu.cta_queue.popleft()
+        vpns, offs, sames = cu.cta_queue.popleft()
         # Plain Python ints: every later index is one list load instead
         # of a numpy scalar extraction + int() conversion.
         self.vpns = vpns.tolist()
         self.offs = offs.tolist()
+        self.sames = sames
         self.length = len(self.vpns)
         self.index = 0
         self.advance()
@@ -179,7 +214,15 @@ class _WavefrontSlot:
                 # argument, including why an event exactly *at* t3 is
                 # harmless — it was pushed before our completion in
                 # both schedules).
-                provable = cu._no_event_before(t3)
+                #
+                # The horizon is the earliest queued event time, read
+                # once: the queue is frozen for the rest of this
+                # callback (nothing pops mid-callback and our own push
+                # comes after the fusion loop), so one query bounds the
+                # whole run — ``t <= horizon`` is exactly
+                # ``no_event_before(t)`` for every probe below.
+                horizon = cu._fusion_horizon()
+                provable = horizon is None or t3 <= horizon
                 if not (
                     provable
                     or (
@@ -195,6 +238,10 @@ class _WavefrontSlot:
                     )
                 ):
                     cu._fuse_retry_at = engine.now + _FUSE_RETRY_INTERVAL
+                    # Dense window: next provable run, if any, should
+                    # start small again.
+                    if cu._fuse_cap > _FUSE_CAP_MIN:
+                        cu._fuse_cap >>= 1
                 elif cu.l1_cache.access_if_hit(
                     (entry.ppn << cu.page_shift) | self.offs[i]
                 ):
@@ -208,21 +255,22 @@ class _WavefrontSlot:
                     # happens at the same simulated moment as stepped.
                     stats.l1_cache_hits += 1
                     fused = 1
+                    cap = cu._fuse_cap
                     if provable and i + 1 < self.length:
                         # Run fusion: consume subsequent hit/hit
                         # accesses arithmetically for as long as each
                         # one's classic completion still precedes the
-                        # first foreign event (extending the provable
-                        # window access by access).  Probe
-                        # non-mutatingly first; mutate — in the classic
-                        # per-structure operation order — only when
-                        # consuming.  The final consumed access's
+                        # first foreign event (the one-shot horizon).
+                        # Probe non-mutatingly first; mutate — in the
+                        # classic per-structure operation order — only
+                        # when consuming.  The final consumed access's
                         # completion is again delegated to
                         # ``_complete`` at its classic time.
-                        no_event_before = cu._no_event_before
+                        horizon_f = _INF if horizon is None else horizon
                         gap_plus_1 = cu.compute_gap + 1
                         vpns = self.vpns
                         offs = self.offs
+                        sames = self.sames
                         length = self.length
                         tlb = cu.l1_tlb
                         cache = cu.l1_cache
@@ -230,11 +278,30 @@ class _WavefrontSlot:
                         lat_l1 = cu.l1_tlb_latency
                         lat_c = cu.l1_cache_latency
                         shift = cu.page_shift
-                        while fused < _FUSE_RUN_CAP:
+                        bulk = 0
+                        while fused < cap:
                             t1n = t3 + gap_f
                             t3n = (t1n + lat_l1) + lat_c
-                            if not no_event_before(t3n):
+                            if t3n > horizon_f:
                                 break
+                            if sames[i + 1]:
+                                # Same VA line as the access just
+                                # consumed (vectorized pre-check in
+                                # add_cta): same page -> same PPN ->
+                                # same PA line, whose TLB entry and
+                                # cache line are both MRU from the
+                                # previous access — a guaranteed
+                                # hit/hit whose LRU touches are
+                                # no-ops.  Consume arithmetically;
+                                # the counter adds are batched below
+                                # (integer sums, order-free).
+                                i += 1
+                                bulk += 1
+                                fused += 1
+                                t3 = t3n
+                                if i + 1 >= length:
+                                    break
+                                continue
                             nxt = tlb.probe(vpns[i + 1])
                             if nxt is None or not cache.access_if_hit(
                                 (nxt.ppn << shift) | offs[i + 1]
@@ -252,7 +319,18 @@ class _WavefrontSlot:
                             t3 = t3n
                             if i + 1 >= length:
                                 break
+                        if bulk:
+                            stats.instructions += bulk * gap_plus_1
+                            stats.mem_accesses += bulk
+                            stats.l1_tlb_hits += bulk
+                            stats.l1_cache_hits += bulk
+                            tlb.hits += bulk
+                            cache.hits += bulk
                         self.index = i
+                        if fused >= cap and cap < _FUSE_CAP_MAX:
+                            # The window was still open at the cap:
+                            # let the next run batch-drain more.
+                            cu._fuse_cap = cap << 1
                     self.entry = None
                     cu._fused_accesses += fused
                     if cu._fuse_hist is not None:
@@ -358,7 +436,8 @@ class ComputeUnit:
         "_fuse_enabled",
         "_fuse_aggressive",
         "_fuse_retry_at",
-        "_no_event_before",
+        "_fuse_cap",
+        "_fusion_horizon",
         "_fused_accesses",
         "_fuse_hist",
         "_translated_cb",
@@ -419,9 +498,12 @@ class ComputeUnit:
             and not params.link_issue_interval
         )
         self._fuse_retry_at = 0.0
-        # Pre-bound window query (both queue disciplines answer it
-        # exactly, so fusion decisions are discipline-independent).
-        self._no_event_before = simulator.engine.events.no_event_before
+        # Per-CU adaptive fusion cap (see module constants).
+        self._fuse_cap = _FUSE_RUN_CAP
+        # Pre-bound machine-wide horizon query (every queue discipline —
+        # heap, calendar, sharded — answers it exactly, so fusion
+        # decisions are engine-mode-independent).
+        self._fusion_horizon = simulator.engine.events.fusion_horizon
         self._fused_accesses = 0
         # Optional run-length histogram {run_length: count} of the fused
         # fast path, populated only when REPRO_SIM_FUSE_HIST is set (the
@@ -436,16 +518,30 @@ class ComputeUnit:
 
         The per-page decomposition is vectorized here — one shift and
         one mask over the whole trace — instead of per access in the
-        issue path.
+        issue path.  ``sames[i]`` pre-answers "does access ``i`` touch
+        the same VA cache line as access ``i-1``?" for the whole trace
+        in two vectorized compares: same VA line implies same page,
+        same PPN and same PA line, so inside a provable fused run such
+        an access is a guaranteed L1-TLB + L1-cache hit whose LRU
+        touches are no-ops — the fast path consumes it without probing
+        either structure (see :meth:`_WavefrontSlot._issue`).
         """
         if len(trace):
+            lines = trace >> _LINE_SHIFT
+            sames = [False]
+            if len(trace) > 1:
+                sames.extend((lines[1:] == lines[:-1]).tolist())
             self.cta_queue.append(
-                (trace >> self.page_shift, trace & self._offset_mask)
+                (trace >> self.page_shift, trace & self._offset_mask, sames)
             )
 
     def start(self):
         """Activate up to ``num_slots`` wavefront slots."""
         self._gap_f = float(self.compute_gap)
+        # Sharded engine: seed events pushed from here (outside any
+        # event context) belong to this CU's chiplet.  No-op on the
+        # single-stream disciplines.
+        self.engine.events.set_push_shard(self.chiplet)
         while self._active_slots < self.num_slots and self.cta_queue:
             self._active_slots += 1
             slot = _WavefrontSlot(self)

@@ -1,0 +1,363 @@
+"""Tests for the per-chiplet sharded engine (exact-order merge).
+
+The correctness story is structural — the sharded queue dispatches in
+exactly global ``(time, seq)`` order, so every observable must match the
+single-stream disciplines bit for bit.  The tests here verify:
+
+* the environment knob parsing and ``configure_shards`` semantics;
+* a hypothesis property: for random schedules, random partitions and
+  random re-entrant cross-shard pushes, the sharded dispatch order
+  equals the heap oracle's single-stream ``(time, seq)`` order;
+* machine-wide query exactness (``no_event_before``/``fusion_horizon``),
+  including mid-burst;
+* the stopping rules (``until``/``max_events``/profiled ``record``)
+  shared with the single-stream disciplines;
+* the conservative-lookahead audit (a faster-than-fabric cross-shard
+  push raises);
+* the seeded window-violation knob is caught by the observability
+  auditor's engine-clock monotonicity check;
+* end-to-end bit-identity (plain, threads mode, adaptive-fusion-cap
+  variations) against the single-stream engine.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.event_queue import Engine, HeapEventQueue
+from repro.engine.sharded import (
+    ShardedEventQueue,
+    shard_count_from_env,
+    threads_enabled_from_env,
+)
+
+
+def _sharded_engine(num_chiplets=4, num_shards=None, lookahead=1.0):
+    engine = Engine()
+    engine.events = ShardedEventQueue(
+        num_chiplets,
+        num_shards if num_shards is not None else num_chiplets,
+        lookahead,
+        engine=engine,
+    )
+    return engine
+
+
+class TestEnvKnob:
+    @pytest.mark.parametrize("raw", ["", "0", "off", "no", "false", "OFF"])
+    def test_disabled_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", raw)
+        assert shard_count_from_env(8) == 0
+
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_SHARDS", raising=False)
+        assert shard_count_from_env(8) == 0
+
+    def test_auto_is_one_shard_per_chiplet(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "auto")
+        assert shard_count_from_env(8) == 8
+
+    def test_integer_clamped_to_chiplets(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "16")
+        assert shard_count_from_env(4) == 4
+
+    def test_below_two_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "1")
+        assert shard_count_from_env(8) == 0
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "auto")
+        assert shard_count_from_env(1) == 0
+
+    def test_junk_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "many")
+        with pytest.raises(ValueError):
+            shard_count_from_env(8)
+
+    def test_threads_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS_THREADS", "0")
+        assert not threads_enabled_from_env()
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS_THREADS", "1")
+        assert threads_enabled_from_env()
+
+
+class TestConfigureShards:
+    def test_enables_on_calendar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "auto")
+        engine = Engine()
+        assert engine.configure_shards(4, lookahead=2.0) == 4
+        assert isinstance(engine.events, ShardedEventQueue)
+        assert engine.events.lookahead == 2.0
+
+    def test_heap_oracle_takes_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "auto")
+        engine = Engine()
+        engine.events = HeapEventQueue()
+        assert engine.configure_shards(4, lookahead=2.0) == 0
+        assert isinstance(engine.events, HeapEventQueue)
+
+    def test_disabled_keeps_single_stream(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_SHARDS", raising=False)
+        engine = Engine()
+        queue = engine.events
+        assert engine.configure_shards(4, lookahead=2.0) == 0
+        assert engine.events is queue
+
+    def test_raises_after_events_scheduled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "auto")
+        engine = Engine()
+        engine.at(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            engine.configure_shards(4, lookahead=2.0)
+
+
+# One schedule entry: (delay-bucket, chiplet, spawn) where spawn is an
+# optional (extra-delay-bucket, target-chiplet) re-entrant cross push.
+_EVENTS = st.lists(
+    st.tuples(
+        st.integers(0, 8),
+        st.integers(0, 5),
+        st.one_of(st.none(), st.tuples(st.integers(0, 4), st.integers(0, 5))),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestExactOrderProperty:
+    @given(events=_EVENTS, num_shards=st.integers(2, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_dispatch_order_matches_heap_oracle(self, events, num_shards):
+        """Random schedules + partitions + re-entrant cross pushes:
+        the sharded dispatch order is the single-stream order."""
+        lookahead = 1.0
+
+        def run(engine):
+            order = []
+            for index, (bucket, chiplet, spawn) in enumerate(events):
+                time = bucket * 0.5
+
+                def make(index, time, spawn, chiplet):
+                    def callback():
+                        order.append(index)
+                        if spawn is not None:
+                            extra, target = spawn
+                            # Cross-shard pushes respect the fabric
+                            # floor (>= now + lookahead), like every
+                            # real interconnect crossing.
+                            engine.at_on(
+                                target,
+                                engine.now + lookahead + extra * 0.5,
+                                lambda: order.append((index, "spawn")),
+                            )
+                    return callback
+
+                engine.at_on(chiplet, time, make(index, time, spawn, chiplet))
+            engine.run()
+            return order
+
+        oracle = Engine()
+        oracle.events = HeapEventQueue()
+        # at_on/after_on fall back to plain scheduling on the heap.
+        expected = run(oracle)
+
+        sharded = _sharded_engine(
+            num_chiplets=6, num_shards=num_shards, lookahead=lookahead
+        )
+        assert run(sharded) == expected
+        assert len(sharded.events) == 0
+
+    @given(events=_EVENTS)
+    @settings(max_examples=60, deadline=None)
+    def test_pop_interface_matches_heap_oracle(self, events):
+        heap = HeapEventQueue()
+        queue = ShardedEventQueue(6, 3, 1.0)
+        for index, (bucket, chiplet, _spawn) in enumerate(events):
+            heap.push(bucket * 0.5, index)
+            queue.push_on(chiplet, bucket * 0.5, index)
+        expected = [heap.pop() for _ in range(len(events))]
+        got = [queue.pop() for _ in range(len(events))]
+        assert got == expected
+        with pytest.raises(IndexError):
+            queue.pop()
+
+
+class TestMachineWideQueries:
+    def test_no_event_before_and_horizon_idle(self):
+        engine = _sharded_engine()
+        queue = engine.events
+        assert queue.fusion_horizon() is None
+        assert queue.no_event_before(1e9)
+        engine.at_on(2, 5.0, lambda: None)
+        engine.at_on(0, 7.0, lambda: None)
+        assert queue.fusion_horizon() == 5.0
+        assert queue.no_event_before(5.0)
+        assert not queue.no_event_before(5.1)
+
+    def test_queries_mid_burst_see_other_shards(self):
+        engine = _sharded_engine(num_chiplets=4, lookahead=1.0)
+        queue = engine.events
+        seen = {}
+
+        def probe():
+            # Burst context: chiplet 0's shard is draining; the window
+            # must expose chiplet 1's event to machine-wide queries.
+            seen["horizon"] = queue.fusion_horizon()
+            seen["before_6"] = queue.no_event_before(6.0)
+            seen["before_5"] = queue.no_event_before(5.0)
+
+        engine.at_on(0, 1.0, probe)
+        engine.at_on(1, 5.0, lambda: None)
+        engine.run()
+        assert seen == {"horizon": 5.0, "before_6": False, "before_5": True}
+
+    def test_len_counts_mailboxed_events(self):
+        engine = _sharded_engine(num_chiplets=2, lookahead=1.0)
+        queue = engine.events
+        counts = []
+
+        def cross():
+            engine.at_on(1, engine.now + 2.0, lambda: None)
+            counts.append(len(queue))
+
+        engine.at_on(0, 1.0, cross)
+        engine.run()
+        assert counts == [1]
+        assert len(queue) == 0
+
+
+class TestStoppingRules:
+    def test_until_is_inclusive(self):
+        engine = _sharded_engine()
+        seen = []
+        for chiplet, t in ((0, 1.0), (1, 5.0), (2, 5.5)):
+            engine.at_on(chiplet, t, lambda t=t: seen.append(t))
+        assert engine.run(until=5.0) == 2
+        assert seen == [1.0, 5.0]
+        assert len(engine.events) == 1
+
+    def test_max_events_counts_reentrant_pushes(self):
+        engine = _sharded_engine()
+        count = []
+
+        def tick():
+            count.append(engine.now)
+            engine.after_on(len(count) % 4, 1.0, tick)
+
+        engine.at_on(0, 0.0, tick)
+        assert engine.run(max_events=10) == 10
+        assert len(count) == 10
+
+    def test_resume_after_until_dispatches_everything(self):
+        # A mid-select stop pops the best shard's entry off the head
+        # heap; resuming must still see every queued event.
+        engine = _sharded_engine()
+        seen = []
+        for chiplet, t in ((0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)):
+            engine.at_on(chiplet, t, lambda t=t: seen.append(t))
+        assert engine.run(until=2.0) == 2
+        assert engine.run() == 2
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+        assert len(engine.events) == 0
+
+    def test_profiled_run_fills_shard_buckets(self):
+        engine = _sharded_engine(num_chiplets=4)
+        for chiplet in range(4):
+            for step in range(5):
+                engine.at_on(chiplet, float(step), lambda: None)
+        recorded = []
+        engine.run_profiled(lambda cb, s: recorded.append(cb))
+        queue = engine.events
+        assert len(recorded) == 20
+        assert sum(queue.shard_events) == 20
+        # Every shard was profiled, not just shard 0.
+        assert all(events == 5 for events in queue.shard_events)
+        rows = queue.shard_profile()
+        assert [row[0] for row in rows] == [0, 1, 2, 3]
+        assert [row[2] for row in rows] == [5, 5, 5, 5]
+        assert all(row[3] >= 0.0 for row in rows)
+
+
+class TestLookaheadAudit:
+    def test_faster_than_fabric_cross_push_raises(self):
+        engine = _sharded_engine(num_chiplets=2, lookahead=4.0)
+
+        def too_soon():
+            engine.at_on(1, engine.now + 1.0, lambda: None)
+
+        engine.at_on(0, 10.0, too_soon)
+        with pytest.raises(AssertionError, match="conservative-window"):
+            engine.run()
+
+    def test_exactly_at_lookahead_is_legal(self):
+        engine = _sharded_engine(num_chiplets=2, lookahead=4.0)
+        seen = []
+
+        def at_floor():
+            engine.at_on(1, engine.now + 4.0, lambda: seen.append(engine.now))
+
+        engine.at_on(0, 10.0, at_floor)
+        engine.run()
+        assert seen == [14.0]
+
+
+def _smoke_run(monkeypatch, shards, workload="J2D", chiplets=8,
+               topology="ring", threads=None, probe=None, violate=0,
+               fuse_env=None):
+    from repro.arch.params import scaled_params
+    from repro.core.config import design
+    from repro.driver.kernel_launch import launch_kernel
+    from repro.sim.simulator import Simulator
+    from repro.workloads.registry import build_kernel
+
+    monkeypatch.setenv("REPRO_ENGINE_SHARDS", shards)
+    if threads is None:
+        monkeypatch.delenv("REPRO_ENGINE_SHARDS_THREADS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS_THREADS", threads)
+    for key, value in (fuse_env or {}).items():
+        monkeypatch.setenv(key, value)
+    kernel = build_kernel(workload, scale="smoke")
+    params = scaled_params("smoke", num_chiplets=chiplets, topology=topology)
+    launch = launch_kernel(kernel, params, design("mgvm"))
+    simulator = Simulator(launch, params, seed=0, probe=probe)
+    if violate:
+        simulator.engine.events._violate_every = violate
+    return simulator.run()
+
+
+class TestEndToEndBitIdentity:
+    def test_sharded_equals_single_stream(self, monkeypatch):
+        baseline = _smoke_run(monkeypatch, "0")
+        assert _smoke_run(monkeypatch, "auto") == baseline
+        assert _smoke_run(monkeypatch, "2") == baseline
+
+    def test_threads_mode_is_bit_identical(self, monkeypatch):
+        baseline = _smoke_run(monkeypatch, "0")
+        assert _smoke_run(monkeypatch, "auto", threads="1") == baseline
+
+    def test_fusion_cap_does_not_change_results(self, monkeypatch):
+        import repro.sim.cu as cu_mod
+
+        baseline = _smoke_run(monkeypatch, "0")
+        # Any adaptive-cap trajectory must be results-identical: each
+        # fused segment is independently stepped-equivalent, so capping
+        # runs early only splits them differently.
+        monkeypatch.setattr(cu_mod, "_FUSE_CAP_MAX", 16)
+        assert _smoke_run(monkeypatch, "0") == baseline
+        assert _smoke_run(monkeypatch, "auto") == baseline
+
+    def test_seeded_window_violation_is_caught_by_auditor(self, monkeypatch):
+        from repro.obs.audit import AuditProbe
+
+        probe = AuditProbe()
+        _smoke_run(monkeypatch, "auto", probe=probe, violate=7)
+        kinds = {violation.kind for violation in probe.violations}
+        assert "engine-clock-regression" in kinds
+
+    def test_clean_sharded_run_passes_the_auditor(self, monkeypatch):
+        from repro.obs.audit import AuditProbe
+
+        probe = AuditProbe()
+        _smoke_run(monkeypatch, "auto", probe=probe)
+        assert probe.violations == []
+        assert probe.checks_passed > 0
