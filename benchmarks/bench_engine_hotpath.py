@@ -45,6 +45,13 @@ from repro.engine.event_queue import (
     HeapEventQueue,
 )
 from repro.sim.simulator import clear_trace_cache, simulate
+from repro.stats.bench import (
+    BENCH_HISTORY_PATH,
+    git_revision,
+    host_fingerprint,
+    load_history,
+    select_baseline_snapshot,
+)
 from repro.workloads.registry import build_kernel
 
 EVENTS = 200_000
@@ -278,24 +285,6 @@ def measure_sharded(rounds=3, configs=SHARDED_CONFIGS):
     return out
 
 
-def host_fingerprint():
-    """Identify the measuring host (python, platform, cpu count).
-
-    Stamped into every snapshot so perf comparisons can detect
-    cross-machine apples-to-oranges situations and widen their noise
-    margins instead of false-failing (``--check`` here and the guards in
-    ``bench_obs_overhead.py`` both use it).
-    """
-    import platform
-
-    return {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "cpu_count": os.cpu_count(),
-    }
-
-
 def measure_snapshot(rounds=3, sharded=True):
     """Best-of-``rounds`` numbers for the BENCH_engine.json trajectory."""
     import time
@@ -327,77 +316,12 @@ def measure_snapshot(rounds=3, sharded=True):
     return snapshot
 
 
-def load_history(path="results/BENCH_engine.json"):
-    """The snapshot trajectory as a list (empty on missing/corrupt)."""
-    import json
-
-    if not os.path.exists(path):
-        return []
-    try:
-        with open(path) as handle:
-            history = json.load(handle)
-    except ValueError:
-        return []
-    return history if isinstance(history, list) else []
+# host_fingerprint / load_history / select_baseline_snapshot moved to
+# repro.stats.bench (imported above): bench_obs_overhead.py and the
+# telemetry store share them, so the selection logic cannot drift.
 
 
-def select_baseline_snapshot(path="results/BENCH_engine.json"):
-    """Pick the snapshot a perf guard should compare against.
-
-    Selection rules, in order:
-
-    1. entries labelled ``"stale": true`` are skipped (measurements
-       taken under a known-mixed regime — e.g. a container mid-flight
-       between its fast and slow CPU states — poison naive
-       latest-entry selection);
-    2. the most recent non-stale entry whose ``host`` fingerprint
-       matches this machine wins (same-host rates are directly
-       comparable);
-    3. otherwise the most recent non-stale entry wins, flagged
-       cross-host so callers widen their margins.
-
-    Returns ``(snapshot, description)`` — the description says which
-    entry was selected and why, so guard logs are auditable — or
-    ``(None, reason)`` when the file has no usable entry.
-    """
-    history = load_history(path)
-    if not history:
-        return None, "no snapshot history at %s" % path
-    fingerprint = host_fingerprint()
-    usable = [
-        (index, snap)
-        for index, snap in enumerate(history)
-        if isinstance(snap, dict) and not snap.get("stale")
-    ]
-    skipped = len(history) - len(usable)
-    if not usable:
-        return None, "all %d snapshots in %s are stale" % (len(history), path)
-    for index, snap in reversed(usable):
-        if snap.get("host") == fingerprint:
-            return snap, (
-                "snapshot %d/%d (%s, git %s, same host%s)"
-                % (
-                    index + 1,
-                    len(history),
-                    snap.get("timestamp", "undated"),
-                    snap.get("git_rev", "?"),
-                    ", %d stale skipped" % skipped if skipped else "",
-                )
-            )
-    index, snap = usable[-1]
-    return snap, (
-        "snapshot %d/%d (%s, git %s, cross-host%s)"
-        % (
-            index + 1,
-            len(history),
-            snap.get("timestamp", "undated"),
-            snap.get("git_rev", "?"),
-            ", %d stale skipped" % skipped if skipped else "",
-        )
-    )
-
-
-def load_latest_snapshot(path="results/BENCH_engine.json"):
+def load_latest_snapshot(path=BENCH_HISTORY_PATH):
     """Return the most recent snapshot record, or ``None``.
 
     Kept for trajectory tooling; perf guards should use
@@ -408,11 +332,10 @@ def load_latest_snapshot(path="results/BENCH_engine.json"):
     return history[-1] if history else None
 
 
-def append_snapshot(path="results/BENCH_engine.json", rounds=3):
+def append_snapshot(path=BENCH_HISTORY_PATH, rounds=3):
     """Append one measurement to the perf-trajectory file (a JSON list)."""
     import datetime
     import json
-    import subprocess
 
     snapshot = measure_snapshot(rounds=rounds)
     snapshot["timestamp"] = datetime.datetime.now(
@@ -421,17 +344,7 @@ def append_snapshot(path="results/BENCH_engine.json", rounds=3):
     fingerprint = host_fingerprint()
     snapshot["python"] = fingerprint["python"]
     snapshot["host"] = fingerprint
-    try:
-        snapshot["git_rev"] = (
-            subprocess.check_output(
-                ["git", "rev-parse", "--short", "HEAD"],
-                stderr=subprocess.DEVNULL,
-            )
-            .decode()
-            .strip()
-        )
-    except (OSError, subprocess.CalledProcessError):
-        snapshot["git_rev"] = None
+    snapshot["git_rev"] = git_revision()
 
     history = []
     if os.path.exists(path):

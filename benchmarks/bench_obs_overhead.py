@@ -32,6 +32,12 @@ that (see docs/observability.md for the design that makes them pass):
   the same ``SIM_TOLERANCE`` (10%) timer-noise margin the NULL_PROBE
   comparison uses (``AUDIT_TOLERANCE`` = budget + noise).
 
+* **Telemetry bus** — the flight-recorder configuration ``repro sweep
+  --store`` runs under (``MetricsRecorder`` publishing every epoch row
+  through a ``MetricsBus`` into a sqlite ``RunStore``) may cost at most
+  ``BUS_BUDGET`` (5%) over the probe-absent run, plus the same
+  timer-noise margin (``BUS_TOLERANCE`` = budget + noise).
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
 for a JSON report, or with ``--check`` to exit non-zero on regression
 (what CI does).  Also collectable with pytest:
@@ -43,13 +49,9 @@ import os
 import sys
 import time
 
-from repro.obs import NULL_PROBE, AuditProbe, TraceProbe
-from bench_engine_hotpath import (
-    drive_engine,
-    host_fingerprint,
-    run_smoke_sim,
-    select_baseline_snapshot,
-)
+from repro.obs import MetricsRecorder, NULL_PROBE, AuditProbe, TraceProbe
+from repro.stats.bench import host_fingerprint, select_baseline_snapshot
+from bench_engine_hotpath import drive_engine
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -85,6 +87,13 @@ FABRIC_TOLERANCE = 1.00
 # SIM_TOLERANCE, which covers a path whose true cost is zero).
 AUDIT_BUDGET = 0.10
 AUDIT_TOLERANCE = AUDIT_BUDGET + SIM_TOLERANCE
+# The telemetry bus with a live sqlite sink (MetricsRecorder publishing
+# every epoch row into a RunStore) is the always-on flight-recorder
+# configuration `repro sweep --store` runs under, so it gets the
+# tightest riding-along budget: 5% over the probe-absent run, plus the
+# usual timer-noise margin.
+BUS_BUDGET = 0.05
+BUS_TOLERANCE = BUS_BUDGET + SIM_TOLERANCE
 
 # Best-of-N sampling; raw dispatch rate is sensitive to scheduler noise
 # on shared CI machines, so it gets extra rounds.
@@ -117,12 +126,13 @@ def baseline_same_host(path=BASELINE_PATH):
 
     Records without a ``host`` stamp (pre-fingerprint trajectory
     entries) count as cross-host: there is no evidence they are
-    comparable, so the guards take the wide margin.
+    comparable, so the guards take the wide margin.  (Thin wrapper over
+    :func:`repro.stats.bench.baseline_same_host` pinning this repo's
+    trajectory path.)
     """
-    snapshot, _description = _baseline_snapshot(path)
-    if not isinstance(snapshot, dict):
-        return False
-    return snapshot.get("host") == host_fingerprint()
+    from repro.stats.bench import baseline_same_host as _same_host
+
+    return _same_host(path)
 
 
 def _engine_margin(path=BASELINE_PATH):
@@ -178,6 +188,37 @@ def _time_smoke(probe_factory, rounds=ROUNDS):
     return best
 
 
+def _time_smoke_bus(rounds=ROUNDS):
+    """Best-of-``rounds`` smoke sim under MetricsRecorder + sqlite sink.
+
+    The full flight-recorder path: every epoch row published through a
+    :class:`MetricsBus` into a fresh :class:`RunStore` (one sqlite file
+    per round, so a round never rides a warm WAL of the previous one).
+    """
+    import tempfile
+
+    from repro.obs.bus import MetricsBus, SqliteSink
+    from repro.obs.store import RunStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        opened = []
+
+        def factory():
+            store = RunStore(
+                os.path.join(tmp, "bench_%d.db" % len(opened))
+            )
+            opened.append(store)
+            run_id = store.begin_run("GUPS", "mgvm", scale="smoke")
+            bus = MetricsBus([SqliteSink(store, run_id)], batch_size=256)
+            return MetricsRecorder(sample_every=2000, bus=bus)
+
+        try:
+            return _time_smoke(factory, rounds=rounds)
+        finally:
+            for store in opened:
+                store.close()
+
+
 def measure(rounds=ROUNDS):
     """All guard numbers in one dict (also the ``--check`` report)."""
     baseline = baseline_events_per_sec()
@@ -186,6 +227,7 @@ def measure(rounds=ROUNDS):
     null = _time_smoke(lambda: NULL_PROBE, rounds=rounds)
     traced = _time_smoke(lambda: TraceProbe(max_spans=100000), rounds=rounds)
     audited = _time_smoke(lambda: AuditProbe(), rounds=rounds)
+    bus = _time_smoke_bus(rounds=rounds)
     baseline_smoke = baseline_smoke_seconds()
     _snapshot, selected = _baseline_snapshot()
     return {
@@ -198,9 +240,11 @@ def measure(rounds=ROUNDS):
         "smoke_null_probe_seconds": round(null, 4),
         "smoke_traced_seconds": round(traced, 4),
         "smoke_audit_seconds": round(audited, 4),
+        "smoke_bus_sqlite_seconds": round(bus, 4),
         "null_probe_ratio": round(null / off, 4) if off else None,
         "trace_probe_ratio": round(traced / off, 4) if off else None,
         "audit_probe_ratio": round(audited / off, 4) if off else None,
+        "bus_sqlite_ratio": round(bus / off, 4) if off else None,
         "baseline_smoke_sim_seconds": baseline_smoke,
         "fabric_smoke_ratio": (
             round(off / baseline_smoke, 4) if baseline_smoke else None
@@ -246,6 +290,17 @@ def check(report):
             "AuditProbe smoke sim %.1f%% slower than probe-absent "
             "(tolerance %d%%)"
             % ((audit_ratio - 1.0) * 100, AUDIT_TOLERANCE * 100)
+        )
+    bus_ratio = report.get("bus_sqlite_ratio")
+    if bus_ratio and bus_ratio > 1.0 + BUS_TOLERANCE:
+        problems.append(
+            "MetricsBus+sqlite sink smoke sim %.1f%% slower than "
+            "probe-absent (budget %d%% + %d%% noise)"
+            % (
+                (bus_ratio - 1.0) * 100,
+                BUS_BUDGET * 100,
+                SIM_TOLERANCE * 100,
+            )
         )
     ratio = report.get("fabric_smoke_ratio")
     if ratio and ratio > 1.0 + fabric_margin:
@@ -308,6 +363,16 @@ def test_audit_probe_overhead_guard():
         "AuditProbe too expensive to ride along in CI: "
         "%.4fs vs %.4fs probe-absent (tolerance %d%%)"
         % (audited, off, AUDIT_TOLERANCE * 100)
+    )
+
+
+def test_bus_sqlite_sink_overhead_guard():
+    off = _time_smoke(lambda: None)
+    bus = _time_smoke_bus()
+    assert bus <= off * (1.0 + BUS_TOLERANCE), (
+        "MetricsBus+sqlite sink too expensive for always-on telemetry: "
+        "%.4fs vs %.4fs probe-absent (budget %d%% + %d%% noise)"
+        % (bus, off, BUS_BUDGET * 100, SIM_TOLERANCE * 100)
     )
 
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# The store-backed `repro diff --store` regression gate, with a built-in
+# self-test (the telemetry-store counterpart of scripts/diff_gate.sh).
+#
+# Steps:
+#   1. run a parallel smoke sweep that records every run into a fresh
+#      sqlite telemetry store (and a live event stream);
+#   2. render one `repro top` snapshot and a `repro report` query from
+#      the store (the observability surfaces must actually work, not
+#      just the writer);
+#   3. SELF-TEST the gate: inject a >=1% throughput delta into a copy of
+#      the sweep CSV and require `repro diff --store` to FAIL on it;
+#   4. require `repro diff --store` to PASS comparing the sweep against
+#      the store the same sweep just populated (no false positives);
+#   5. FALLBACK: against an empty store, the gate must fall back to the
+#      committed golden snapshot and still gate the sweep.
+#
+# Usage: scripts/store_gate.sh [rel_tol]
+#   GOLDEN     fallback manifest (default: results/golden_smoke.csv)
+#   WORK_DIR   scratch dir (default: fresh temp dir, removed on exit)
+
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+REL_TOL="${1:-0.01}"
+GOLDEN="${GOLDEN:-results/golden_smoke.csv}"
+
+if [ -z "${WORK_DIR:-}" ]; then
+    WORK_DIR="$(mktemp -d)"
+    trap 'rm -rf "$WORK_DIR"' EXIT
+fi
+
+STORE="$WORK_DIR/runs.db"
+STREAM="$WORK_DIR/sweep.stream"
+
+echo "== smoke sweep into the telemetry store (2 workers) =="
+python -m repro sweep --scale smoke --jobs 2 \
+    --out "$WORK_DIR/sweep.csv" --store "$STORE" --stream "$STREAM" \
+    >/dev/null
+
+echo "== live-view snapshot (repro top --once) =="
+python -m repro top "$STREAM" --once
+
+echo "== store query (repro report) =="
+python -m repro report --store "$STORE" --scale smoke --limit 5
+
+echo "== self-test: injected 2% throughput regression must FAIL =="
+python - "$WORK_DIR" <<'EOF'
+import csv
+import sys
+
+workdir = sys.argv[1]
+with open(workdir + "/sweep.csv", newline="") as handle:
+    rows = list(csv.reader(handle))
+column = rows[0].index("throughput")
+rows[1][column] = "%.6f" % (float(rows[1][column]) * 1.02)
+with open(workdir + "/injected.csv", "w", newline="") as handle:
+    csv.writer(handle).writerows(rows)
+EOF
+if python -m repro diff "$WORK_DIR/injected.csv" --store "$STORE" \
+        --scale smoke --rel-tol "$REL_TOL" >/dev/null; then
+    echo "FATAL: the store gate did not catch an injected regression" >&2
+    exit 1
+fi
+echo "ok: injected regression caught"
+
+echo "== self-test: store vs its own sweep must PASS =="
+python -m repro diff "$WORK_DIR/sweep.csv" --store "$STORE" \
+    --scale smoke --rel-tol "$REL_TOL"
+
+echo "== fallback: empty store must gate against $GOLDEN =="
+python -m repro diff "$GOLDEN" "$WORK_DIR/sweep.csv" \
+    --store "$WORK_DIR/empty.db" --scale smoke --rel-tol "$REL_TOL"
+echo "store gate passed"

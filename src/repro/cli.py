@@ -18,7 +18,15 @@ Mirrors the paper artifact's scripts:
   speedscope/collapsed flamegraph exports);
 * ``python -m repro diff results/golden_smoke.csv new.csv`` — the
   regression gate: align two result manifests and fail on any counter
-  moving beyond tolerance.
+  moving beyond tolerance; ``--store runs.db`` gates against the newest
+  matching runs in a sqlite telemetry store instead, falling back to
+  the golden manifest while the store is empty;
+* ``python -m repro report --store runs.db`` — query the telemetry
+  store: filter runs, show counters, or ``--trend throughput`` to see
+  one counter's trajectory across recorded git revisions;
+* ``python -m repro top sweep.stream`` — live view of an in-flight
+  ``repro sweep --stream`` (per-job phase, metric event rate, MSHR
+  high-water marks, audit violations).
 
 ``repro run``/``repro trace`` accept ``--audit``, which attaches the
 online invariant checker (:class:`repro.obs.AuditProbe`) to every
@@ -318,6 +326,8 @@ def cmd_sweep(args):
         cache_path=args.cache,
         verbose=True,
         workers=args.jobs,
+        store_path=args.store,
+        stream_path=args.stream,
     ) as runner:
         grid = runner.run_matrix(
             workloads,
@@ -438,21 +448,338 @@ def cmd_profile(args):
 
 
 def cmd_diff(args):
+    from repro.stats.diff import compare, load_manifest, load_store_manifest
+
+    tolerances = dict(
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+        counters=args.counters or None,
+    )
+    source = None
     try:
-        report = diff_paths(
-            args.baseline,
-            args.candidate,
-            rel_tol=args.rel_tol,
-            abs_tol=args.abs_tol,
-            counters=args.counters or None,
-        )
+        if args.store:
+            # Store-gated mode: the baseline is the newest stored run
+            # per configuration; an optional second positional is the
+            # golden manifest to fall back on while the store is empty.
+            if args.candidate is not None:
+                golden, candidate_path = args.baseline, args.candidate
+            else:
+                golden, candidate_path = None, args.baseline
+            baseline = load_store_manifest(args.store, scale=args.scale)
+            source = "store %s (scale=%s)" % (args.store, args.scale)
+            if not baseline:
+                if golden is None:
+                    raise SystemExit(
+                        "repro diff: store %s holds no baseline runs for "
+                        "scale=%s and no golden fallback manifest was "
+                        "given" % (args.store, args.scale)
+                    )
+                baseline = load_manifest(golden)
+                source = "golden %s (store empty)" % golden
+            report = compare(
+                baseline, load_manifest(candidate_path), **tolerances
+            )
+        else:
+            if args.candidate is None:
+                raise SystemExit(
+                    "repro diff: two manifests are required "
+                    "(or pass --store for a store-gated baseline)"
+                )
+            report = diff_paths(args.baseline, args.candidate, **tolerances)
     except (OSError, ValueError) as exc:
         raise SystemExit("repro diff: %s" % exc)
+    if source is not None:
+        report["baseline_source"] = source
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
+        if source is not None:
+            print("baseline: %s" % source)
         print(format_diff_report(report, top=args.top))
     return 0 if report["ok"] else 1
+
+
+_REPORT_COUNTERS = ["throughput", "mpki", "cycles", "l2_hit_rate"]
+
+
+def _short_rev(git_rev):
+    return (git_rev or "-")[:12]
+
+
+def _run_config_label(run):
+    """One run's configuration as the diff-style key label."""
+    from repro.stats.diff import _key_label
+
+    return _key_label(
+        (
+            run["workload"],
+            run["design"],
+            run["chiplets"],
+            run["topology"],
+            run["qualifier"],
+        )
+    )
+
+
+def cmd_report(args):
+    from repro.obs.store import RunStore, StoreError
+
+    if not os.path.exists(args.store):
+        raise SystemExit("repro report: no store at %s" % args.store)
+    try:
+        store = RunStore(args.store)
+    except StoreError as exc:
+        raise SystemExit("repro report: %s" % exc)
+    with store:
+        runs = store.list_runs(
+            workload=args.workload,
+            design=args.design,
+            chiplets=args.chiplets,
+            topology=args.topology,
+            scale=args.scale,
+            sweep_id=args.sweep,
+            limit=None if args.trend else args.limit,
+        )
+        violations = {
+            run["id"]: store.violation_count(run["id"]) for run in runs
+        }
+    counters = args.counters or _REPORT_COUNTERS
+    if args.trend:
+        return _report_trend(runs, args)
+    header = [
+        "id", "when", "config", "scale", "status", "git", "violations",
+    ] + counters
+    table_rows = []
+    for run in runs:
+        import datetime
+
+        when = datetime.datetime.fromtimestamp(
+            run["created_at"]
+        ).strftime("%m-%d %H:%M:%S")
+        table_rows.append(
+            [
+                run["id"],
+                when,
+                _run_config_label(run),
+                run["scale"],
+                run["status"],
+                _short_rev(run["git_rev"]),
+                violations[run["id"]],
+            ]
+            + [
+                "%.6g" % run["counters"][name]
+                if name in run["counters"]
+                else "-"
+                for name in counters
+            ]
+        )
+    if args.json:
+        payload = []
+        for run in runs:
+            entry = dict(run)
+            entry["violations"] = violations[run["id"]]
+            payload.append(entry)
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    elif args.csv:
+        import csv
+
+        writer = csv.writer(sys.stdout)
+        writer.writerow(header)
+        writer.writerows(table_rows)
+    else:
+        print(format_table(header, table_rows))
+        print("%d run(s) in %s" % (len(runs), args.store))
+    return 0
+
+
+def _report_trend(runs, args):
+    """``repro report --trend COUNTER``: the counter across git revs.
+
+    Groups the matching runs by configuration and walks them oldest to
+    newest, printing the counter at each recorded git revision and the
+    relative delta against the previous revision — the store-backed
+    answer to "when did this counter move, and by how much".
+    """
+    counter = args.trend
+    by_config = {}
+    for run in reversed(runs):  # list_runs is newest-first
+        value = run["counters"].get(counter)
+        if value is None:
+            continue
+        by_config.setdefault(_run_config_label(run), []).append(run)
+    if not by_config:
+        print("no stored runs carry counter %r" % counter)
+        return 1
+    header = ["config", "run", "git", "status", counter, "delta vs prev"]
+    table_rows = []
+    payload = []
+    for config in sorted(by_config):
+        previous = None
+        for run in by_config[config]:
+            value = run["counters"][counter]
+            if previous in (None, 0):
+                delta = "-"
+                rel = None
+            else:
+                rel = (value - previous) / abs(previous)
+                delta = "%+.2f%%" % (rel * 100.0)
+            table_rows.append(
+                [
+                    config,
+                    run["id"],
+                    _short_rev(run["git_rev"]),
+                    run["status"],
+                    "%.6g" % value,
+                    delta,
+                ]
+            )
+            payload.append(
+                {
+                    "config": config,
+                    "run_id": run["id"],
+                    "git_rev": run["git_rev"],
+                    "status": run["status"],
+                    "counter": counter,
+                    "value": value,
+                    "rel_delta": rel,
+                }
+            )
+            previous = value
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.csv:
+        import csv
+
+        writer = csv.writer(sys.stdout)
+        writer.writerow(header)
+        writer.writerows(table_rows)
+    else:
+        print(format_table(header, table_rows))
+    return 0
+
+
+def _top_snapshot(events, sweep=None):
+    """Aggregate stream events into per-job live rows.
+
+    Returns ``(sweep_row, job_rows)`` where ``job_rows`` is a list of
+    ``[job, phase, metric events, events/s, mshr hwm, violations]``.
+    Restricted to the newest sweep in the stream unless ``sweep`` pins
+    one explicitly.
+    """
+    if sweep is None:
+        for event in reversed(events):
+            if event.get("sweep"):
+                sweep = event["sweep"]
+                break
+    if sweep is not None:
+        events = [e for e in events if e.get("sweep") in (sweep, None)]
+    jobs = {}
+    sweep_phase = "-"
+    sweep_points = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "sweep":
+            sweep_phase = event.get("phase", sweep_phase)
+            sweep_points = event.get("points", sweep_points)
+            continue
+        job = event.get("job")
+        if not job:
+            continue
+        state = jobs.setdefault(
+            job,
+            {
+                "phase": "-",
+                "metrics": 0,
+                "violations": 0,
+                "mshr_hwm": 0,
+                "first_wall": None,
+                "last_wall": None,
+                "seconds": None,
+            },
+        )
+        wall = event.get("wall")
+        if wall is not None:
+            if state["first_wall"] is None:
+                state["first_wall"] = wall
+            state["last_wall"] = wall
+        if kind == "job":
+            state["phase"] = event.get("phase", state["phase"])
+            if event.get("seconds") is not None:
+                state["seconds"] = event["seconds"]
+        elif kind == "metric":
+            state["metrics"] += 1
+            hwm = event.get("mshr_hwm")
+            if isinstance(hwm, (int, float)) and hwm > state["mshr_hwm"]:
+                state["mshr_hwm"] = hwm
+        elif kind == "violation":
+            state["violations"] += 1
+    rows = []
+    for job in sorted(jobs):
+        state = jobs[job]
+        window = state["seconds"]
+        if window is None and state["first_wall"] is not None:
+            window = state["last_wall"] - state["first_wall"]
+        rate = (
+            "%.0f" % (state["metrics"] / window)
+            if window and state["metrics"]
+            else "-"
+        )
+        rows.append(
+            [
+                job,
+                state["phase"],
+                state["metrics"],
+                rate,
+                state["mshr_hwm"],
+                state["violations"],
+            ]
+        )
+    sweep_row = (sweep or "-", sweep_phase, sweep_points)
+    return sweep_row, rows
+
+
+def cmd_top(args):
+    from repro.obs.bus import read_stream
+
+    def render():
+        events = read_stream(args.stream)
+        (sweep, phase, points), rows = _top_snapshot(
+            events, sweep=args.sweep
+        )
+        lines = [
+            "sweep %s: %s (%d point(s), %d event(s) in stream)"
+            % (sweep, phase, points, len(events))
+        ]
+        if rows:
+            lines.append(
+                format_table(
+                    ["job", "phase", "metrics", "ev/s", "mshr_hwm",
+                     "violations"],
+                    rows,
+                )
+            )
+        done = phase == "finished" and all(
+            row[1] in ("finished", "cached") for row in rows
+        )
+        return "\n".join(lines), done
+
+    if args.once:
+        text, _done = render()
+        print(text)
+        return 0
+    import time as _time
+
+    try:
+        while True:
+            text, done = render()
+            # Clear-and-home keeps the view in place like top(1).
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            if done:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser():
@@ -501,6 +828,16 @@ def build_parser():
                          choices=sorted(DESIGNS))
     sweep_p.add_argument("--out", default="results.csv")
     sweep_p.add_argument("--cache", help="JSON run-cache path")
+    sweep_p.add_argument(
+        "--store",
+        help="also record every run (counters + epoch metrics) into "
+        "this sqlite telemetry store (see docs/observability.md)",
+    )
+    sweep_p.add_argument(
+        "--stream",
+        help="append live line-delimited-JSON job/metric events to "
+        "this file (tail it with `repro top`)",
+    )
     _add_scale(sweep_p)
     _add_geometry(sweep_p)
     _add_jobs(sweep_p)
@@ -593,10 +930,27 @@ def build_parser():
         help="compare two result manifests (regression gate)",
     )
     diff_p.add_argument(
-        "baseline", help="baseline manifest (raw sweep CSV or run-cache JSON)"
+        "baseline",
+        help="baseline manifest (sweep CSV, run-cache JSON or sqlite "
+        "store); with --store this is the candidate when no second "
+        "path is given, or the golden fallback when one is",
     )
     diff_p.add_argument(
-        "candidate", help="candidate manifest to gate against the baseline"
+        "candidate",
+        nargs="?",
+        help="candidate manifest to gate against the baseline "
+        "(optional with --store)",
+    )
+    diff_p.add_argument(
+        "--store",
+        help="gate against the newest matching runs stored in this "
+        "sqlite telemetry store; falls back to the golden positional "
+        "when the store holds no baseline yet",
+    )
+    diff_p.add_argument(
+        "--scale",
+        default="default",
+        help="machine scale of the stored baseline runs (--store only)",
     )
     diff_p.add_argument(
         "--rel-tol",
@@ -629,6 +983,75 @@ def build_parser():
     )
     _add_logging(diff_p)
 
+    report_p = sub.add_parser(
+        "report",
+        help="query the sqlite telemetry store (runs, counters, trends)",
+    )
+    report_p.add_argument(
+        "--store",
+        default="results/runs.db",
+        help="sqlite telemetry store path",
+    )
+    report_p.add_argument("--workload", choices=list(WORKLOAD_NAMES))
+    report_p.add_argument("--design", choices=sorted(DESIGNS))
+    report_p.add_argument("--chiplets", type=int)
+    report_p.add_argument("--topology", choices=topology_names())
+    report_p.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        help="restrict to one machine scale (default: all)",
+    )
+    report_p.add_argument("--sweep", help="restrict to one sweep id")
+    report_p.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="newest N runs shown (ignored with --trend)",
+    )
+    report_p.add_argument(
+        "--counters",
+        nargs="*",
+        help="counter columns shown per run (default: %s)"
+        % " ".join(_REPORT_COUNTERS),
+    )
+    report_p.add_argument(
+        "--trend",
+        metavar="COUNTER",
+        help="trajectory mode: one counter across stored git revisions, "
+        "grouped by configuration, with deltas vs the previous revision",
+    )
+    report_p.add_argument(
+        "--json", action="store_true", help="emit structured JSON"
+    )
+    report_p.add_argument(
+        "--csv", action="store_true", help="emit CSV on stdout"
+    )
+    _add_logging(report_p)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live view of a sweep by tailing its --stream file",
+    )
+    top_p.add_argument(
+        "stream", help="stream file a `repro sweep --stream` is appending to"
+    )
+    top_p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds",
+    )
+    top_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (no screen clearing)",
+    )
+    top_p.add_argument(
+        "--sweep",
+        help="pin one sweep id (default: the newest in the stream)",
+    )
+    _add_logging(top_p)
+
     return parser
 
 
@@ -648,6 +1071,8 @@ def main(argv=None):
         "trace": cmd_trace,
         "profile": cmd_profile,
         "diff": cmd_diff,
+        "report": cmd_report,
+        "top": cmd_top,
     }
     try:
         return handlers[args.command](args)

@@ -28,6 +28,13 @@ clock* (not simulated cycles) per component and event kind by timing
 engine dispatch, and exports speedscope / collapsed-stack flamegraphs
 (``repro profile``).
 
+:class:`MetricsBus` carries producer events (metric rows, audit
+violations, runner job/sweep lifecycle) to pluggable batched sinks —
+JSONL stream (``repro top`` tails it live), tidy epoch CSV, and
+:class:`SqliteSink` into :class:`RunStore`, the sqlite flight recorder
+behind ``repro sweep --store`` / ``repro report`` / ``repro diff
+--store``.
+
 See ``docs/observability.md`` for the full protocol and file formats.
 """
 
@@ -37,6 +44,20 @@ from repro.obs.trace import TraceProbe
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.audit import AuditError, AuditProbe, AuditViolation
 from repro.obs.profile import HostProfiler
+from repro.obs.bus import (
+    CallbackSink,
+    CsvMetricsSink,
+    JsonlStreamSink,
+    MetricsBus,
+    Sink,
+    SqliteSink,
+    read_stream,
+)
+from repro.obs.store import (
+    RunStore,
+    StoreError,
+    StoreVersionError,
+)
 
 __all__ = [
     "Probe",
@@ -50,4 +71,14 @@ __all__ = [
     "AuditProbe",
     "AuditViolation",
     "HostProfiler",
+    "MetricsBus",
+    "Sink",
+    "CallbackSink",
+    "CsvMetricsSink",
+    "JsonlStreamSink",
+    "SqliteSink",
+    "read_stream",
+    "RunStore",
+    "StoreError",
+    "StoreVersionError",
 ]

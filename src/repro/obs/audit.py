@@ -87,6 +87,7 @@ class AuditProbe(Probe):
     # lookup on the audited hot path.
     __slots__ = (
         "max_violations",
+        "bus",
         "violations",
         "suppressed",
         "checks_passed",
@@ -109,11 +110,16 @@ class AuditProbe(Probe):
         "_clock_hwm",
     )
 
-    def __init__(self, max_violations=200):
+    def __init__(self, max_violations=200, bus=None):
         super().__init__()
         if max_violations < 1:
             raise ValueError("max_violations must be >= 1")
         self.max_violations = max_violations
+        #: Optional :class:`repro.obs.bus.MetricsBus`: every recorded
+        #: violation is also published as a ``violation`` event.  Only
+        #: the (cold) violation path touches it — the satisfied-check
+        #: hot path never sees the bus.
+        self.bus = bus
         self.violations = []
         self.suppressed = 0  # violations past the max_violations cap
         self.checks_passed = 0  # satisfied invariant evaluations
@@ -193,6 +199,11 @@ class AuditProbe(Probe):
             return
         t = self.engine.now if self.engine is not None else 0.0
         self.violations.append(AuditViolation(kind, t, message, detail))
+        if self.bus is not None:
+            self.bus.publish(
+                "violation", t=t, violation=kind, message=message,
+                detail=detail,
+            )
 
     def _clock(self, what):
         """Engine-clock monotonicity: dispatch time must never regress.

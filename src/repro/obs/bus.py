@@ -1,0 +1,258 @@
+"""Streaming metrics bus: one event pipe, pluggable sinks.
+
+The observability stack produces several disconnected artifacts — epoch
+CSVs, JSONL spans, audit violation lists, ad-hoc JSON run caches.
+:class:`MetricsBus` is the pipe that joins them: producers publish small
+dict **events** (an epoch metric row, an audit violation, an experiment
+job lifecycle change, a bench-guard result) and the bus fans batched
+writes out to pluggable **sinks**:
+
+* :class:`JsonlStreamSink` — line-delimited JSON appended to a file,
+  the live stream ``repro top`` tails during a sweep;
+* :class:`SqliteSink` — epoch rows and violations into one run of a
+  :class:`repro.obs.store.RunStore` (the flight recorder);
+* :class:`CsvMetricsSink` — the classic tidy per-chiplet epoch CSV
+  (the PR-2 ``MetricsRecorder.write_csv`` schema), now just a sink.
+
+Design constraints, in order:
+
+1. **Zero perturbation** — the bus only ever *observes*; simulation
+   statistics are bit-identical with or without it (probes guarantee
+   this, and ``tests/test_bus.py`` asserts it end to end).
+2. **Bounded overhead** — events are buffered and flushed to sinks in
+   batches (``batch_size``); ``benchmarks/bench_obs_overhead.py`` holds
+   a MetricsRecorder-plus-sqlite-sink smoke run to a 5% budget over the
+   probe-absent run.
+3. **Crash robustness** — sinks flush whole batches; the stream sink
+   writes complete lines and flushes each batch so a tailing ``repro
+   top`` never sees a torn record, and abandoned partial lines from a
+   killed worker are skipped by the reader.
+
+Every published event is stamped with a ``kind`` and a wall-clock
+``wall`` timestamp, and merged with the bus ``context`` (e.g. the
+``job`` label a sweep worker runs under), so downstream consumers can
+join events across producers without guessing.
+"""
+
+import json
+import os
+import time
+
+#: Event kinds the stock producers publish (sinks may see others).
+KIND_METRIC = "metric"  # MetricsRecorder epoch row (per chiplet)
+KIND_VIOLATION = "violation"  # AuditProbe invariant violation
+KIND_JOB = "job"  # ExperimentRunner job lifecycle (phase field)
+KIND_SWEEP = "sweep"  # ExperimentRunner batch lifecycle
+KIND_BENCH = "bench"  # bench-guard snapshot/result
+
+
+class Sink:
+    """Sink contract: receive whole batches, flush/close idempotently.
+
+    ``write_batch`` receives a list of event dicts (never empty) and
+    must not mutate them — a bus fans the *same* list out to every
+    sink.  Sinks that only care about some kinds filter inside.
+    """
+
+    def write_batch(self, events):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class JsonlStreamSink(Sink):
+    """Line-delimited JSON events appended to ``path``.
+
+    Append mode (the default) lets several producers — the sweep parent
+    and its worker processes — interleave whole lines into one stream
+    file; each batch ends with a flush so live readers see complete
+    records promptly.
+    """
+
+    def __init__(self, path, append=True):
+        self.path = path
+        self._handle = open(path, "a" if append else "w")
+
+    def write_batch(self, events):
+        handle = self._handle
+        # One buffered write per batch: interleaving producers append
+        # whole lines, and a single write of a joined chunk keeps lines
+        # intact even across processes (POSIX O_APPEND semantics).
+        chunk = "".join(
+            json.dumps(event, sort_keys=True, default=str) + "\n"
+            for event in events
+        )
+        handle.write(chunk)
+        handle.flush()
+
+    def close(self):
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_stream(path):
+    """Parse a stream file back into a list of event dicts.
+
+    Skips blank, torn (no trailing newline yet) and corrupt lines —
+    a live stream's last line may still be mid-write.
+    """
+    events = []
+    if not os.path.exists(path):
+        return events
+    with open(path) as handle:
+        text = handle.read()
+    complete, _, _partial = text.rpartition("\n")
+    for line in complete.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+class CsvMetricsSink(Sink):
+    """``metric`` events as the tidy per-chiplet epoch CSV.
+
+    The PR-2 ``MetricsRecorder.write_csv`` exporter recast as a sink:
+    same columns (:data:`repro.obs.metrics.FIELDS`), same formatting,
+    but rows stream out batch by batch instead of being written once at
+    the end of the run.
+    """
+
+    def __init__(self, path):
+        import csv
+
+        from repro.obs.metrics import FIELDS
+
+        self.path = path
+        self._fields = FIELDS
+        self._handle = open(path, "w", newline="")
+        self._writer = csv.DictWriter(
+            self._handle, fieldnames=FIELDS, extrasaction="ignore"
+        )
+        self._writer.writeheader()
+
+    def write_batch(self, events):
+        for event in events:
+            if event.get("kind") != KIND_METRIC:
+                continue
+            row = dict(event)
+            row["hit_rate"] = "%.4f" % float(row.get("hit_rate", 0.0))
+            row["mshr_mean"] = "%.3f" % float(row.get("mshr_mean", 0.0))
+            self._writer.writerow(row)
+        self._handle.flush()
+
+    def close(self):
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class SqliteSink(Sink):
+    """``metric``/``violation`` events into one run of a RunStore.
+
+    The sink buffers nothing itself (the bus batches); each batch is
+    one store transaction, so a reader never observes half a batch.
+    The target run row must already exist (see
+    :meth:`repro.obs.store.RunStore.begin_run`) — during a live
+    simulation the run's counters are not known yet, so the row is
+    created ``status='running'`` and finalized afterwards.
+    """
+
+    def __init__(self, store, run_id):
+        self.store = store
+        self.run_id = run_id
+
+    def write_batch(self, events):
+        epochs = [e for e in events if e.get("kind") == KIND_METRIC]
+        violations = [
+            e for e in events if e.get("kind") == KIND_VIOLATION
+        ]
+        if epochs:
+            self.store.insert_epochs(self.run_id, epochs)
+        if violations:
+            self.store.insert_violations(self.run_id, violations)
+
+
+class CallbackSink(Sink):
+    """Hand every batch to a callable — glue for tests and ad-hoc taps."""
+
+    def __init__(self, callback):
+        self.callback = callback
+
+    def write_batch(self, events):
+        self.callback(events)
+
+
+class MetricsBus:
+    """Buffers published events and fans batches out to sinks.
+
+    ``batch_size`` bounds both the buffer and the sink write rate;
+    ``context`` is merged into every event (producers use it to stamp
+    the owning job).  The bus is a context manager: leaving the block
+    flushes and closes every sink.  ``close`` is idempotent and
+    publishing to a closed bus raises — losing telemetry silently is
+    how flight recorders stop being trusted.
+    """
+
+    def __init__(self, sinks=(), batch_size=256, context=None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.sinks = list(sinks)
+        self.batch_size = batch_size
+        self.context = dict(context or {})
+        self.events_published = 0
+        self.batches_flushed = 0
+        self._buffer = []
+        self._closed = False
+
+    def publish(self, kind, **fields):
+        """Queue one event; flushes automatically at ``batch_size``."""
+        if self._closed:
+            raise RuntimeError("publish() on a closed MetricsBus")
+        event = {"kind": kind, "wall": time.time()}
+        if self.context:
+            event.update(self.context)
+        event.update(fields)
+        self._buffer.append(event)
+        self.events_published += 1
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+        return event
+
+    def publish_row(self, kind, row):
+        """Like :meth:`publish` with the payload already assembled."""
+        return self.publish(kind, **row)
+
+    def flush(self):
+        """Push the buffered batch to every sink (no-op when empty)."""
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.batches_flushed += 1
+        for sink in self.sinks:
+            sink.write_batch(batch)
+
+    def close(self):
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        for sink in self.sinks:
+            sink.close()
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -50,11 +50,16 @@ FIELDS = [
 class MetricsRecorder(Probe):
     """Collects per-chiplet epoch/time-series rows (see module docstring)."""
 
-    def __init__(self, sample_every=2000):
+    def __init__(self, sample_every=2000, bus=None):
         super().__init__()
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.sample_every = sample_every
+        #: Optional :class:`repro.obs.bus.MetricsBus`: every snapshot
+        #: row is also published as a ``metric`` event (batched by the
+        #: bus), and ``run_finished`` flushes so no trailing window is
+        #: stranded in the buffer.
+        self.bus = bus
         self.rows = []
         self.switches = []  # (t, mode) mirror of RunStats.balance_switches
         self._num_chiplets = 0
@@ -158,7 +163,13 @@ class MetricsRecorder(Probe):
         self.snapshot("switch", mode=mode)
 
     def run_finished(self, stats):
+        # The trailing partial sample window (fewer than sample_every
+        # observed events since the last snapshot) is flushed here as
+        # the "final" rows — the run's last activity must never be
+        # silently dropped (tests/test_bus.py guards this).
         self.snapshot("final")
+        if self.bus is not None:
+            self.bus.flush()
 
     # -- snapshotting -----------------------------------------------------------
 
@@ -166,6 +177,7 @@ class MetricsRecorder(Probe):
         """Emit one row per chiplet and reset the window counters."""
         now = self.engine.now if self.engine is not None else 0.0
         self._ticks = 0
+        bus = self.bus
         for chiplet in range(self._num_chiplets):
             serviced = self._win_serviced[chiplet]
             hits = self._win_hits[chiplet]
@@ -185,23 +197,24 @@ class MetricsRecorder(Probe):
                 if window > 0.0
                 else float(occupancy)
             )
-            self.rows.append(
-                {
-                    "t": now,
-                    "event": event,
-                    "mode": mode,
-                    "chiplet": chiplet,
-                    "incoming": self._win_incoming[chiplet],
-                    "serviced": serviced,
-                    "hits": hits,
-                    "hit_rate": hits / serviced if serviced else 0.0,
-                    "walk_queue_depth": tokens.in_use + tokens.queue_length,
-                    "mshr_occupancy": occupancy,
-                    "mshr_hwm": self._mshr_win_hwm[chiplet],
-                    "mshr_mean": mshr_mean,
-                    "route_hops": self._win_route_hops[chiplet],
-                }
-            )
+            row = {
+                "t": now,
+                "event": event,
+                "mode": mode,
+                "chiplet": chiplet,
+                "incoming": self._win_incoming[chiplet],
+                "serviced": serviced,
+                "hits": hits,
+                "hit_rate": hits / serviced if serviced else 0.0,
+                "walk_queue_depth": tokens.in_use + tokens.queue_length,
+                "mshr_occupancy": occupancy,
+                "mshr_hwm": self._mshr_win_hwm[chiplet],
+                "mshr_mean": mshr_mean,
+                "route_hops": self._win_route_hops[chiplet],
+            }
+            self.rows.append(row)
+            if bus is not None:
+                bus.publish_row("metric", row)
             self._mshr_win_area[chiplet] = 0.0
             self._mshr_win_hwm[chiplet] = occupancy
             self._mshr_win_t0[chiplet] = now

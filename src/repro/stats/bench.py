@@ -1,0 +1,132 @@
+"""Shared benchmark-trajectory helpers (fingerprints, snapshot selection).
+
+Both perf guards — ``benchmarks/bench_engine_hotpath.py`` and
+``benchmarks/bench_obs_overhead.py`` — compare live measurements against
+the snapshot trajectory in ``results/BENCH_engine.json``.  Which snapshot
+they compare against, and how wide their noise margins must be, depends
+on *who measured it*: same-host rates are directly comparable, cross-host
+rates are not, and entries labelled stale (taken under a known-mixed
+container regime) must be skipped entirely.  That selection logic lives
+here, in one place, so the two guards cannot drift apart — and so the
+telemetry store (:mod:`repro.obs.store`) can stamp the same fingerprint
+and git revision onto every run it records.
+"""
+
+import json
+import os
+import platform
+import subprocess
+
+#: Default snapshot-trajectory path, relative to a repo checkout.
+BENCH_HISTORY_PATH = "results/BENCH_engine.json"
+
+
+def host_fingerprint():
+    """Identify the measuring host (python, platform, cpu count).
+
+    Stamped into every bench snapshot and every stored run so perf
+    comparisons can detect cross-machine apples-to-oranges situations
+    and widen their noise margins instead of false-failing.
+    """
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_revision(short=True):
+    """The current git revision, or ``None`` outside a repo."""
+    cmd = ["git", "rev-parse", "HEAD"]
+    if short:
+        cmd = ["git", "rev-parse", "--short", "HEAD"]
+    try:
+        return (
+            subprocess.check_output(cmd, stderr=subprocess.DEVNULL)
+            .decode()
+            .strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def load_history(path=BENCH_HISTORY_PATH):
+    """The snapshot trajectory as a list (empty on missing/corrupt)."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as handle:
+            history = json.load(handle)
+    except ValueError:
+        return []
+    return history if isinstance(history, list) else []
+
+
+def select_baseline_snapshot(path=BENCH_HISTORY_PATH):
+    """Pick the snapshot a perf guard should compare against.
+
+    Selection rules, in order:
+
+    1. entries labelled ``"stale": true`` are skipped (measurements
+       taken under a known-mixed regime — e.g. a container mid-flight
+       between its fast and slow CPU states — poison naive
+       latest-entry selection);
+    2. the most recent non-stale entry whose ``host`` fingerprint
+       matches this machine wins (same-host rates are directly
+       comparable);
+    3. otherwise the most recent non-stale entry wins, flagged
+       cross-host so callers widen their margins.
+
+    Returns ``(snapshot, description)`` — the description says which
+    entry was selected and why, so guard logs are auditable — or
+    ``(None, reason)`` when the file has no usable entry.
+    """
+    history = load_history(path)
+    if not history:
+        return None, "no snapshot history at %s" % path
+    fingerprint = host_fingerprint()
+    usable = [
+        (index, snap)
+        for index, snap in enumerate(history)
+        if isinstance(snap, dict) and not snap.get("stale")
+    ]
+    skipped = len(history) - len(usable)
+    if not usable:
+        return None, "all %d snapshots in %s are stale" % (len(history), path)
+    for index, snap in reversed(usable):
+        if snap.get("host") == fingerprint:
+            return snap, (
+                "snapshot %d/%d (%s, git %s, same host%s)"
+                % (
+                    index + 1,
+                    len(history),
+                    snap.get("timestamp", "undated"),
+                    snap.get("git_rev", "?"),
+                    ", %d stale skipped" % skipped if skipped else "",
+                )
+            )
+    index, snap = usable[-1]
+    return snap, (
+        "snapshot %d/%d (%s, git %s, cross-host%s)"
+        % (
+            index + 1,
+            len(history),
+            snap.get("timestamp", "undated"),
+            snap.get("git_rev", "?"),
+            ", %d stale skipped" % skipped if skipped else "",
+        )
+    )
+
+
+def baseline_same_host(path=BENCH_HISTORY_PATH):
+    """True iff the selected baseline was measured on this host.
+
+    Records without a ``host`` stamp (pre-fingerprint trajectory
+    entries) count as cross-host: there is no evidence they are
+    comparable, so guards take the wide margin.
+    """
+    snapshot, _description = select_baseline_snapshot(path)
+    if not isinstance(snapshot, dict):
+        return False
+    return snapshot.get("host") == host_fingerprint()

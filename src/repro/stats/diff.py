@@ -1,9 +1,10 @@
 """Differential comparison of experiment result manifests (``repro diff``).
 
-The regression gate behind CI: load two result manifests — either raw
-sweep CSVs (:data:`repro.stats.export.RAW_FIELDS` schema) or
-:class:`~repro.experiments.runner.ExperimentRunner` JSON caches — align
-their rows by ``(workload, design, chiplets, topology)``, and report
+The regression gate behind CI: load two result manifests — raw sweep
+CSVs (:data:`repro.stats.export.RAW_FIELDS` schema),
+:class:`~repro.experiments.runner.ExperimentRunner` JSON caches, or a
+:class:`repro.obs.store.RunStore` sqlite telemetry store — align their
+rows by ``(workload, design, chiplets, topology)``, and report
 per-counter deltas against configurable relative/absolute thresholds.
 
 Alignment keys are format-normalized so a default-geometry JSON cache
@@ -24,8 +25,12 @@ snapshot (see ``results/README.md``).
 
 import json
 import math
+import os
 
-from repro.stats.export import read_csv
+from repro.stats.export import quantize_counters, read_csv
+
+#: File suffixes treated as sqlite run stores by :func:`load_manifest`.
+STORE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 
 #: Counters compared by default: every numeric column both manifest
 #: formats can produce.  ``--counters`` (or ``compare(counters=...)``)
@@ -80,6 +85,45 @@ def _qualifier(scale, mult, seed, extra_overrides):
     for name, value in sorted((extra_overrides or {}).items()):
         parts.append("%s=%s" % (name, value))
     return " ".join(parts)
+
+
+def split_overrides(overrides, mult=1, seed=0, scale=None):
+    """Split a GPUParams override dict into the alignment-key pieces.
+
+    Pops the geometry (``num_chiplets``/``topology``) out and folds
+    everything left — plus non-default ``scale``/``mult``/``seed`` —
+    into the human-readable qualifier.  Pass ``scale=None`` when the
+    scale is tracked out-of-band (the run store keeps it as a column),
+    so same-scale rows align regardless of which scale that is.
+    """
+    overrides = dict(overrides or {})
+    chiplets = overrides.pop("num_chiplets", None)
+    topology = overrides.pop("topology", "all-to-all")
+    return chiplets, topology, _qualifier(scale, mult, seed, overrides)
+
+
+def flatten_counters(mapping):
+    """Numeric counters of one record, in the cross-format schema.
+
+    ``breakdown`` dicts flatten to the CSV column names
+    (``cycles_local_hit``, ...); identity fields and non-numbers are
+    dropped.  Shared by the JSON manifest loader and the run store so
+    every manifest format produces byte-comparable counter sets.
+    """
+    counters = {}
+    for field, value in mapping.items():
+        if field == "breakdown" and isinstance(value, dict):
+            for bucket, amount in value.items():
+                number = _numeric(amount)
+                if number is not None:
+                    counters["cycles_%s" % bucket] = number
+            continue
+        if field in _NON_COUNTER_FIELDS:
+            continue
+        number = _numeric(value)
+        if number is not None:
+            counters[field] = number
+    return counters
 
 
 def _numeric(value):
@@ -142,30 +186,11 @@ def _load_json_manifest(path):
             raise ValueError(
                 "%s: unparseable run-cache key %r" % (path, raw_key)
             )
-        chiplets = overrides.pop("num_chiplets", None)
-        topology = overrides.pop("topology", "all-to-all")
-        key = (
-            workload,
-            design_name,
-            chiplets,
-            topology,
-            _qualifier(scale, mult, seed, overrides),
+        chiplets, topology, qualifier = split_overrides(
+            overrides, mult=mult, seed=seed, scale=scale
         )
-        counters = {}
-        for field, value in record.items():
-            if field == "breakdown" and isinstance(value, dict):
-                # Flatten to the CSV column names (cycles_local_hit, ...)
-                # so breakdown buckets diff across manifest formats.
-                for bucket, amount in value.items():
-                    number = _numeric(amount)
-                    if number is not None:
-                        counters["cycles_%s" % bucket] = number
-                continue
-            if field in _NON_COUNTER_FIELDS:
-                continue
-            number = _numeric(value)
-            if number is not None:
-                counters[field] = number
+        key = (workload, design_name, chiplets, topology, qualifier)
+        counters = quantize_counters(flatten_counters(record))
         if key in out:
             raise ValueError(
                 "%s: duplicate row for %s; a diff manifest must be "
@@ -175,15 +200,41 @@ def _load_json_manifest(path):
     return out
 
 
-def load_manifest(path):
+def load_store_manifest(path, scale="default", sweep_id=None):
+    """Baseline manifest from a sqlite run store (newest run per key).
+
+    A missing store file loads as an *empty* manifest (``{}``) so
+    callers can fall back to a golden snapshot; an existing store with
+    an incompatible schema version still fails loudly.  Counters are
+    quantized to the raw-CSV cell precision so a store baseline aligns
+    exactly with the CSV snapshot of the same runs (the store keeps
+    full precision; the CSV rounds).
+    """
+    from repro.obs.store import RunStore
+
+    if not os.path.exists(path):
+        return {}
+    with RunStore(path) as store:
+        manifest = store.latest_manifest(scale=scale, sweep_id=sweep_id)
+    return {
+        key: quantize_counters(counters)
+        for key, counters in manifest.items()
+    }
+
+
+def load_manifest(path, scale="default"):
     """Load ``path`` as ``{alignment_key: {counter: value}}``.
 
-    ``.json`` files are parsed as :class:`ExperimentRunner` disk caches;
-    anything else as a raw sweep CSV.  The alignment key is
-    ``(workload, design, chiplets, topology, qualifier)``.
+    ``.json`` files are parsed as :class:`ExperimentRunner` disk caches,
+    :data:`STORE_SUFFIXES` files as sqlite run stores (``scale`` pins
+    the stored machine scale), anything else as a raw sweep CSV.  The
+    alignment key is ``(workload, design, chiplets, topology,
+    qualifier)``.
     """
     if path.endswith(".json"):
         return _load_json_manifest(path)
+    if path.endswith(STORE_SUFFIXES):
+        return load_store_manifest(path, scale=scale)
     return _load_csv_manifest(path)
 
 
@@ -266,9 +317,19 @@ def compare(
                     continue
             else:
                 rel_delta = math.inf
+            workload, design_name, chiplets, topology, qualifier = key
             violations.append(
                 {
                     "key": _key_label(key),
+                    # The aligned config key, spelled out: error
+                    # consumers (CI logs, --json) must be able to name
+                    # the offending configuration without re-parsing
+                    # the label (the geomean error-path convention).
+                    "workload": workload,
+                    "design": design_name,
+                    "chiplets": chiplets,
+                    "topology": topology,
+                    "qualifier": qualifier,
                     "counter": name,
                     "base": base_value,
                     "candidate": cand_value,
@@ -339,9 +400,23 @@ def format_report(report, top=20):
             % ", ".join(report["unknown_counters"])
         )
     if report["violations"]:
+        # Every mismatch names its aligned config key explicitly
+        # (workload / design / chiplets / topology) and prints both
+        # values plus the relative delta — nobody should have to
+        # re-run the diff to learn *which* configuration moved.
         rows = [
             [
-                item["key"],
+                item.get("workload", item["key"]),
+                item["design"] + (
+                    " [%s]" % item["qualifier"]
+                    if item.get("qualifier")
+                    else ""
+                )
+                if "design" in item
+                else "",
+                item.get("chiplets") if item.get("chiplets") is not None
+                else "-",
+                item.get("topology", "-"),
                 item["counter"],
                 "%.6g" % item["base"],
                 "%.6g" % item["candidate"],
@@ -356,7 +431,17 @@ def format_report(report, top=20):
         ]
         lines.append(
             format_table(
-                ["row", "counter", "base", "candidate", "|delta|", "rel"],
+                [
+                    "workload",
+                    "design",
+                    "chiplets",
+                    "topology",
+                    "counter",
+                    "base",
+                    "candidate",
+                    "|delta|",
+                    "rel",
+                ],
                 rows,
             )
         )

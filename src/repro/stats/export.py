@@ -39,6 +39,41 @@ RAW_FIELDS = [
 ]
 
 
+# Cell precision of the float counters in the raw CSV.  The sqlite run
+# store and the JSON run caches keep full precision, so manifest loaders
+# quantize through these same formats before comparing — otherwise a
+# store baseline of the *same* runs would differ from the CSV snapshot
+# by rounding noise (2% relative on a 0.0018 hit rate).
+CSV_COUNTER_FORMATS = {
+    "throughput": "%.6f",
+    "mpki": "%.4f",
+    "l2_hit_rate": "%.4f",
+    "local_hit_fraction": "%.4f",
+    "pw_remote_fraction": "%.4f",
+    "data_remote_fraction": "%.4f",
+    "avg_walk_latency": "%.2f",
+    "cycles_local_hit": "%.1f",
+    "cycles_remote_hit": "%.1f",
+    "cycles_pw_local": "%.1f",
+    "cycles_pw_remote": "%.1f",
+    "avg_translation_hops": "%.4f",
+}
+
+
+def quantize_counters(counters):
+    """Counters rounded to the raw-CSV cell precision.
+
+    Counters without a CSV format (integral columns, store-only
+    counters such as ``cycles``) pass through untouched.
+    """
+    return {
+        name: float(CSV_COUNTER_FORMATS[name] % value)
+        if name in CSV_COUNTER_FORMATS
+        else value
+        for name, value in counters.items()
+    }
+
+
 def pack_link_crossings(link_crossings):
     """Pack the per-directed-link histogram into one CSV cell.
 
@@ -66,30 +101,38 @@ def write_raw_csv(records, path):
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(RAW_FIELDS)
+        formats = CSV_COUNTER_FORMATS
         for record in records:
             breakdown = record.breakdown or {}
             writer.writerow(
                 [
                     record.workload,
                     record.design,
-                    "%.6f" % record.throughput,
-                    "%.4f" % record.mpki,
-                    "%.4f" % record.l2_hit_rate,
-                    "%.4f" % record.local_hit_fraction,
-                    "%.4f" % record.pw_remote_fraction,
-                    "%.4f" % record.data_remote_fraction,
-                    "%.2f" % record.avg_walk_latency,
+                    formats["throughput"] % record.throughput,
+                    formats["mpki"] % record.mpki,
+                    formats["l2_hit_rate"] % record.l2_hit_rate,
+                    formats["local_hit_fraction"] % record.local_hit_fraction,
+                    formats["pw_remote_fraction"]
+                    % record.pw_remote_fraction,
+                    formats["data_remote_fraction"]
+                    % record.data_remote_fraction,
+                    formats["avg_walk_latency"] % record.avg_walk_latency,
                     record.walks,
                     record.balance_switches,
-                    "%.1f" % breakdown.get("local_hit", 0.0),
-                    "%.1f" % breakdown.get("remote_hit", 0.0),
-                    "%.1f" % breakdown.get("pw_local", 0.0),
-                    "%.1f" % breakdown.get("pw_remote", 0.0),
+                    formats["cycles_local_hit"]
+                    % breakdown.get("local_hit", 0.0),
+                    formats["cycles_remote_hit"]
+                    % breakdown.get("remote_hit", 0.0),
+                    formats["cycles_pw_local"]
+                    % breakdown.get("pw_local", 0.0),
+                    formats["cycles_pw_remote"]
+                    % breakdown.get("pw_remote", 0.0),
                     record.fabric_topology,
                     record.translation_hops,
                     record.data_hops,
                     record.pte_hops,
-                    "%.4f" % record.avg_translation_hops,
+                    formats["avg_translation_hops"]
+                    % record.avg_translation_hops,
                     record.max_link_crossings,
                     pack_link_crossings(record.link_crossings),
                 ]

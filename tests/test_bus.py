@@ -1,0 +1,230 @@
+"""Tests for the streaming metrics bus (repro.obs.bus).
+
+Covers the bus contract end to end:
+
+* batching: events buffer until ``batch_size`` and fan out to every
+  sink as one list; ``flush``/``close`` drain the remainder;
+* context + stamping: every event carries ``kind``, ``wall`` and the
+  bus context;
+* closed semantics: publish-after-close raises, close is idempotent;
+* sinks: JSONL stream (plus torn-line-tolerant reader), tidy epoch CSV,
+  sqlite (epochs + violations into a RunStore run);
+* producers: MetricsRecorder publishes every snapshot row and flushes
+  the trailing partial window at run_finished; AuditProbe publishes
+  violations on its cold path only;
+* zero perturbation: simulation stats are identical with the full
+  bus + sqlite sink attached.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.obs import AuditProbe, MetricsRecorder
+from repro.obs.bus import (
+    CallbackSink,
+    CsvMetricsSink,
+    JsonlStreamSink,
+    MetricsBus,
+    SqliteSink,
+    read_stream,
+)
+from repro.obs.metrics import FIELDS
+from repro.obs.store import RunStore
+from repro.sim.simulator import simulate
+from repro.workloads.registry import build_kernel
+
+
+def _smoke(probe=None):
+    kernel = build_kernel("GUPS", scale="smoke")
+    params = scaled_params("smoke")
+    return simulate(kernel, params, design("mgvm"), probe=probe)
+
+
+class TestBusCore:
+    def test_batching_and_flush(self):
+        batches = []
+        bus = MetricsBus([CallbackSink(batches.append)], batch_size=3)
+        for i in range(7):
+            bus.publish("metric", i=i)
+        # Two full batches auto-flushed, one partial still buffered.
+        assert [len(b) for b in batches] == [3, 3]
+        bus.flush()
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert bus.events_published == 7
+        assert bus.batches_flushed == 3
+
+    def test_events_stamped_with_kind_wall_context(self):
+        batches = []
+        bus = MetricsBus(
+            [CallbackSink(batches.append)],
+            batch_size=1,
+            context={"job": "GUPS/mgvm", "pid": 42},
+        )
+        bus.publish("job", phase="started")
+        (event,) = batches[0]
+        assert event["kind"] == "job"
+        assert event["phase"] == "started"
+        assert event["job"] == "GUPS/mgvm"
+        assert event["pid"] == 42
+        assert isinstance(event["wall"], float)
+
+    def test_close_flushes_and_is_idempotent(self):
+        batches = []
+        bus = MetricsBus([CallbackSink(batches.append)], batch_size=100)
+        bus.publish("metric", i=0)
+        bus.close()
+        bus.close()
+        assert [len(b) for b in batches] == [1]
+        with pytest.raises(RuntimeError):
+            bus.publish("metric", i=1)
+
+    def test_context_manager_closes(self):
+        batches = []
+        with MetricsBus([CallbackSink(batches.append)], batch_size=10) as bus:
+            bus.publish("metric", i=0)
+        assert batches and bus.closed
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            MetricsBus(batch_size=0)
+
+
+class TestStreamSink:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with MetricsBus([JsonlStreamSink(path)], batch_size=2) as bus:
+            bus.publish("job", phase="started")
+            bus.publish("metric", chiplet=0, serviced=5)
+            bus.publish("job", phase="finished")
+        events = read_stream(path)
+        assert [e["kind"] for e in events] == ["job", "metric", "job"]
+        assert events[1]["serviced"] == 5
+
+    def test_append_interleaves_producers(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        for worker in range(3):
+            with MetricsBus([JsonlStreamSink(path)], batch_size=1) as bus:
+                bus.publish("job", worker=worker)
+        assert [e["worker"] for e in read_stream(path)] == [0, 1, 2]
+
+    def test_reader_skips_torn_and_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "job", "i": 0}) + "\n")
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"kind": "job", "i": 1}) + "\n")
+            handle.write('{"kind": "job", "torn": tru')  # no newline
+        events = read_stream(path)
+        assert [e["i"] for e in events] == [0, 1]
+
+    def test_reader_missing_file_is_empty(self, tmp_path):
+        assert read_stream(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestCsvSink:
+    def test_metric_events_only_in_recorder_schema(self, tmp_path):
+        path = str(tmp_path / "epochs.csv")
+        recorder = MetricsRecorder(sample_every=500)
+        stats = _smoke(probe=recorder)
+        assert stats.instructions > 0
+        with MetricsBus([CsvMetricsSink(path)], batch_size=64) as bus:
+            bus.publish("job", phase="started")  # must be filtered out
+            for row in recorder.rows:
+                bus.publish_row("metric", row)
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == FIELDS
+            rows = list(reader)
+        assert len(rows) == len(recorder.rows)
+        # Same formatting contract as MetricsRecorder.write_csv.
+        assert all("." in row["hit_rate"] for row in rows)
+
+
+class TestSqliteSink:
+    def test_epochs_and_violations_land_in_store(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with RunStore(path) as store:
+            run_id = store.begin_run("GUPS", "mgvm", scale="smoke")
+            with MetricsBus([SqliteSink(store, run_id)], batch_size=4) as bus:
+                recorder = MetricsRecorder(sample_every=500, bus=bus)
+                _smoke(probe=recorder)
+                bus.publish(
+                    "violation",
+                    t=1.0,
+                    violation="mshr_balance",
+                    message="synthetic",
+                    detail={"chiplet": 0},
+                )
+            store.finish_run(run_id, {"throughput": 1.0})
+            epochs = store.epochs_for(run_id)
+            assert len(epochs) == len(recorder.rows)
+            assert epochs[0]["chiplet"] == recorder.rows[0]["chiplet"]
+            (violation,) = store.violations_for(run_id)
+            assert violation["kind"] == "mshr_balance"
+            assert violation["detail"] == {"chiplet": 0}
+
+
+class TestProducers:
+    def test_recorder_publishes_every_row_and_flushes_final(self):
+        batches = []
+        # batch_size far above the event count: without the
+        # run_finished flush nothing would ever reach the sink.
+        bus = MetricsBus([CallbackSink(batches.append)], batch_size=100000)
+        recorder = MetricsRecorder(sample_every=500, bus=bus)
+        _smoke(probe=recorder)
+        published = [e for b in batches for e in b]
+        assert len(published) == len(recorder.rows)
+        assert published[-1]["event"] == "final"
+
+    def test_trailing_partial_epoch_flushed_at_run_finished(self):
+        """The run's last activity must never be silently dropped.
+
+        With a sample period far larger than the run, *no* periodic
+        snapshot ever fires — every serviced lookup sits in the trailing
+        partial window — so the ``final`` rows must carry exactly the
+        traffic a fine-grained recorder accounts across all its rows.
+        """
+        fine = MetricsRecorder(sample_every=200)
+        _smoke(probe=fine)
+        coarse = MetricsRecorder(sample_every=10**9)
+        _smoke(probe=coarse)
+        fine_serviced = sum(row["serviced"] for row in fine.rows)
+        final_rows = [r for r in coarse.rows if r["event"] == "final"]
+        assert final_rows, "run_finished must snapshot the trailing window"
+        coarse_serviced = sum(row["serviced"] for row in coarse.rows)
+        assert coarse_serviced == fine_serviced
+        assert sum(r["serviced"] for r in final_rows) > 0
+
+    def test_audit_probe_publishes_violations(self):
+        batches = []
+        bus = MetricsBus([CallbackSink(batches.append)], batch_size=1)
+        audit = AuditProbe(bus=bus)
+        audit._violate("clock", "time went backwards", now=1.0)
+        (event,) = batches[0]
+        assert event["kind"] == "violation"
+        assert event["violation"] == "clock"
+        assert event["detail"] == {"now": 1.0}
+
+    def test_clean_audit_publishes_nothing(self):
+        batches = []
+        bus = MetricsBus([CallbackSink(batches.append)], batch_size=1)
+        audit = AuditProbe(bus=bus)
+        _smoke(probe=audit)
+        assert audit.ok
+        assert batches == []
+
+
+class TestZeroPerturbation:
+    def test_stats_identical_with_bus_and_sqlite_sink(self, tmp_path):
+        bare = _smoke()
+        with RunStore(str(tmp_path / "runs.db")) as store:
+            run_id = store.begin_run("GUPS", "mgvm", scale="smoke")
+            with MetricsBus([SqliteSink(store, run_id)], batch_size=64) as bus:
+                recorder = MetricsRecorder(sample_every=500, bus=bus)
+                observed = _smoke(probe=recorder)
+        assert bare.summary() == observed.summary()
+        assert bare.miss_cycle_breakdown == observed.miss_cycle_breakdown

@@ -125,6 +125,27 @@ def test_injected_one_percent_delta_fails(tmp_path, manifest_csv):
     assert "verdict: FAIL" in format_report(report)
 
 
+def test_violations_name_the_aligned_config_key(tmp_path, manifest_csv):
+    """Mismatch messages spell out the config key and both values."""
+    rows = [list(row) for row in ROWS]
+    rows[2][2] = "%.6f" % (float(rows[2][2]) * 1.05)  # SPMV/private ring
+    cand = tmp_path / "cand.csv"
+    _write_csv(str(cand), rows)
+    report = diff_paths(manifest_csv, str(cand))
+    (violation,) = report["violations"]
+    # Structured fields alongside the human label.
+    assert violation["workload"] == "SPMV"
+    assert violation["design"] == "private"
+    assert violation["chiplets"] is None
+    assert violation["topology"] == "ring"
+    assert violation["qualifier"] == ""
+    text = format_report(report)
+    # The rendered table names workload/design/topology and prints base,
+    # candidate and the relative delta.
+    assert "SPMV" in text and "private" in text and "ring" in text
+    assert "1.2" in text and "1.26" in text and "5.00%" in text
+
+
 def test_sub_tolerance_drift_passes(tmp_path, manifest_csv):
     rows = [list(row) for row in ROWS]
     rows[0][2] = "%.6f" % (float(rows[0][2]) * 1.005)  # +0.5% < 1%
@@ -203,3 +224,77 @@ def test_cli_json_output(manifest_csv, capsys):
 def test_cli_unreadable_manifest_is_a_clean_error(tmp_path):
     with pytest.raises(SystemExit, match="repro diff"):
         main(["diff", str(tmp_path / "nope.csv"), str(tmp_path / "nope.csv")])
+
+
+def test_cli_requires_candidate_without_store(manifest_csv):
+    with pytest.raises(SystemExit, match="two manifests"):
+        main(["diff", manifest_csv])
+
+
+# -- store-gated mode ---------------------------------------------------------
+
+
+def _store_from_rows(path, rows):
+    from repro.obs.store import RunStore
+
+    with RunStore(path) as store:
+        for workload, design, throughput, mpki, walks, topology, _ in rows:
+            store.insert_run(
+                workload,
+                design,
+                {
+                    "throughput": float(throughput),
+                    "mpki": float(mpki),
+                    "walks": float(walks),
+                },
+                topology=topology,
+                config_hash="test",
+            )
+
+
+def test_cli_store_gate_self_compare_passes(tmp_path, manifest_csv, capsys):
+    store = str(tmp_path / "runs.db")
+    _store_from_rows(store, ROWS)
+    assert main(["diff", manifest_csv, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "baseline: store" in out
+    assert "verdict: OK" in out
+
+
+def test_cli_store_gate_fails_on_injected_delta(tmp_path, manifest_csv,
+                                                capsys):
+    store = str(tmp_path / "runs.db")
+    _store_from_rows(store, ROWS)
+    rows = [list(row) for row in ROWS]
+    rows[0][2] = "%.6f" % (float(rows[0][2]) * 1.02)
+    cand = tmp_path / "cand.csv"
+    _write_csv(str(cand), rows)
+    assert main(["diff", str(cand), "--store", store]) == 1
+    out = capsys.readouterr().out
+    assert "GUPS" in out and "throughput" in out
+    assert "verdict: FAIL" in out
+
+
+def test_cli_store_gate_falls_back_to_golden(tmp_path, manifest_csv, capsys):
+    empty_store = str(tmp_path / "empty.db")
+    assert (
+        main(
+            ["diff", manifest_csv, manifest_csv, "--store", empty_store]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "store empty" in out
+    # Empty store and no golden: a clean error, not a vacuous pass.
+    with pytest.raises(SystemExit, match="no baseline runs"):
+        main(["diff", manifest_csv, "--store", empty_store])
+
+
+def test_cli_store_gate_json_names_baseline_source(tmp_path, manifest_csv,
+                                                   capsys):
+    store = str(tmp_path / "runs.db")
+    _store_from_rows(store, ROWS)
+    assert main(["diff", manifest_csv, "--store", store, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["baseline_source"].startswith("store ")
