@@ -34,19 +34,25 @@ import math
 import os
 import sys
 
+from repro.core.spec import SCALING_CHIPLETS, resolve_preset
 from repro.experiments.figures import extension_scaling
 from repro.experiments.runner import ExperimentRunner
 
-BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+# The guard's base configuration is the registry's ``bench-scaling``
+# preset: the representative workload subset (one per regime) over the
+# scaling design group at smoke scale.
+_PRESET = resolve_preset("bench-scaling")
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", _PRESET.scale)
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
 
-# The same representative subset benchmarks/conftest.py uses: one
-# workload per regime (streaming NL, RCL, random thrash, graph).
-WORKLOADS = ["J1D", "MT", "GUPS", "SPMV", "MIS", "SYRK"]
+WORKLOADS = list(_PRESET.resolved_workloads())
+DESIGNS = list(_PRESET.designs)
 
-CHIPLETS = [2, 4, 8]
+CHIPLETS = list(SCALING_CHIPLETS)
+# The ring/all-to-all contrast is the claim under test; mesh adds cost
+# without sharpening it, so the guard sweeps only these two fabrics.
 TOPOLOGIES = ["all-to-all", "ring"]
-DESIGNS = ["private", "shared", "mgvm"]
 
 # The advantage trend must hold with this much slack (the measured gaps
 # at smoke scale are 4-18x larger, so this only absorbs modeling drift).

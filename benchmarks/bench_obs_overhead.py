@@ -167,22 +167,30 @@ def measure_engine_eps(rounds=ENGINE_ROUNDS):
     return best
 
 
+def _smoke_spec():
+    """The guard's measured point: the ``smoke-probe`` registry preset."""
+    from repro.core.spec import resolve_preset
+
+    return resolve_preset("smoke-probe")
+
+
 def _time_smoke(probe_factory, rounds=ROUNDS):
     """Best-of-``rounds`` wall time of one smoke sim under ``probe``."""
-    from repro.arch.params import scaled_params
-    from repro.core.config import design
     from repro.sim.simulator import clear_trace_cache, simulate
-    from repro.workloads.registry import build_kernel
 
-    kernel = build_kernel("GUPS", scale="smoke")
-    params = scaled_params("smoke")
+    spec = _smoke_spec()
+    kernel = spec.kernel()
+    params = spec.params()
+    vm_design = spec.vm_design()
     # Warm the trace cache once so every timed round measures the
     # simulator, not numpy trace generation.
-    simulate(kernel, params, design("mgvm"), seed=0, probe=probe_factory())
+    simulate(kernel, params, vm_design, seed=spec.seed, probe=probe_factory())
     best = float("inf")
     for _ in range(rounds):
         start = time.perf_counter()
-        simulate(kernel, params, design("mgvm"), seed=0, probe=probe_factory())
+        simulate(
+            kernel, params, vm_design, seed=spec.seed, probe=probe_factory()
+        )
         best = min(best, time.perf_counter() - start)
     clear_trace_cache()
     return best
@@ -200,6 +208,7 @@ def _time_smoke_bus(rounds=ROUNDS):
     from repro.obs.bus import MetricsBus, SqliteSink
     from repro.obs.store import RunStore
 
+    spec = _smoke_spec()
     with tempfile.TemporaryDirectory() as tmp:
         opened = []
 
@@ -208,7 +217,9 @@ def _time_smoke_bus(rounds=ROUNDS):
                 os.path.join(tmp, "bench_%d.db" % len(opened))
             )
             opened.append(store)
-            run_id = store.begin_run("GUPS", "mgvm", scale="smoke")
+            run_id = store.begin_run(
+                spec.workload, spec.design, scale=spec.scale
+            )
             bus = MetricsBus([SqliteSink(store, run_id)], batch_size=256)
             return MetricsRecorder(sample_every=2000, bus=bus)
 

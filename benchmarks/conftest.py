@@ -23,9 +23,12 @@ from repro.experiments.runner import ExperimentRunner
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
 
-# Keep the benchmark suite representative but quick: a subset spanning
-# every regime (streaming NL, RCL with imbalance, random thrash, graph).
-BENCH_WORKLOADS = ["J1D", "MT", "GUPS", "SPMV", "MIS", "SYRK"]
+# Keep the benchmark suite representative but quick: the registry's
+# representative subset spanning every regime (streaming NL, RCL with
+# imbalance, random thrash, graph).
+from repro.core.spec import REPRESENTATIVE_WORKLOADS
+
+BENCH_WORKLOADS = list(REPRESENTATIVE_WORKLOADS)
 if os.environ.get("REPRO_BENCH_ALL"):
     from repro.workloads.registry import WORKLOAD_NAMES
 

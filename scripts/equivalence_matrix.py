@@ -12,8 +12,10 @@ The simulator offers three interchangeable event-engine disciplines:
 
 All three must produce **equal** :class:`RunStats` (dataclass ``==`` —
 every counter and every float, no tolerance) on every configuration.
-This script sweeps workloads x designs x geometries x contention and
-verifies exactly that:
+This script sweeps workloads x designs x geometries x contention — each
+configuration enumerated as an :class:`repro.core.spec.ExperimentSpec`,
+each engine mode a registry :data:`repro.core.spec.ENGINE_MODES` entry —
+and verifies exactly that:
 
     6 workloads x 4 designs x 4 geometries x 2 contention = 192 configs,
     each compared across 3 engine modes.
@@ -33,14 +35,22 @@ import argparse
 import os
 import sys
 import time
+from dataclasses import replace
 
 sys.path.insert(
     0,
     os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
 )
 
+from repro.core.spec import (  # noqa: E402  (path bootstrap above)
+    ENGINE_MODES,
+    ExperimentSpec,
+    GeometrySpec,
+    design_group,
+)
+
 WORKLOADS = ("GUPS", "J2D", "SPMV", "SYRK", "PR", "RED")
-DESIGNS = ("private", "shared", "mgvm-nobalance", "mgvm")
+DESIGNS = design_group("main")
 #: (topology, chiplets) pairs: the paper's all-to-all, plus the routed
 #: geometries whose cross-shard latencies differ per pair.
 GEOMETRIES = (
@@ -51,21 +61,36 @@ GEOMETRIES = (
 )
 CONTENTION = (False, True)
 
-#: Engine modes: name -> environment overrides.
-MODES = (
-    ("default", {"REPRO_ENGINE_QUEUE": None, "REPRO_SIM_FUSE": None,
-                 "REPRO_ENGINE_SHARDS": None}),
-    ("heap-oracle", {"REPRO_ENGINE_QUEUE": "heap", "REPRO_SIM_FUSE": "0",
-                     "REPRO_ENGINE_SHARDS": None}),
-    ("sharded", {"REPRO_ENGINE_QUEUE": None, "REPRO_SIM_FUSE": None,
-                 "REPRO_ENGINE_SHARDS": "auto"}),
-)
+
+def make_spec(workload, design_name, topology, chiplets, contended):
+    """One swept configuration as an engine-neutral ExperimentSpec."""
+    return ExperimentSpec(
+        workload=workload,
+        design=design_name,
+        geometry=GeometrySpec(chiplets=chiplets, topology=topology),
+        scale="smoke",
+        extra_overrides={"link_issue_interval": 1.0} if contended else {},
+    )
+
+
+def _contended(spec):
+    return any(name == "link_issue_interval" for name, _ in spec.extra_overrides)
+
+
+def label(spec):
+    return "%s/%s/%s-%d%s" % (
+        spec.workload,
+        spec.design,
+        spec.geometry.topology,
+        spec.geometry.chiplets,
+        "/contended" if _contended(spec) else "",
+    )
 
 
 def configs(quick=False):
-    """The swept configurations as (workload, design, topology, n, contended)."""
+    """The swept configurations as :class:`ExperimentSpec` objects."""
     out = [
-        (workload, design_name, topology, chiplets, contended)
+        make_spec(workload, design_name, topology, chiplets, contended)
         for workload in WORKLOADS
         for design_name in DESIGNS
         for topology, chiplets in GEOMETRIES
@@ -79,13 +104,13 @@ def configs(quick=False):
     for index, workload in enumerate(WORKLOADS):
         design_name = DESIGNS[index % len(DESIGNS)]
         topology, chiplets = GEOMETRIES[index % len(GEOMETRIES)]
-        subset.append((workload, design_name, topology, chiplets,
-                       CONTENTION[index % len(CONTENTION)]))
+        subset.append(make_spec(workload, design_name, topology, chiplets,
+                                CONTENTION[index % len(CONTENTION)]))
         # Second stripe with the axes rotated, contention flipped.
         design_name = DESIGNS[(index + 1) % len(DESIGNS)]
         topology, chiplets = GEOMETRIES[(index + 2) % len(GEOMETRIES)]
-        subset.append((workload, design_name, topology, chiplets,
-                       CONTENTION[(index + 1) % len(CONTENTION)]))
+        subset.append(make_spec(workload, design_name, topology, chiplets,
+                                CONTENTION[(index + 1) % len(CONTENTION)]))
     return subset
 
 
@@ -97,23 +122,20 @@ def _apply_env(overrides):
             os.environ[key] = value
 
 
-def run_config(workload, design_name, topology, chiplets, contended, seed=0):
-    """One config under every engine mode; returns {mode: RunStats}."""
-    from repro.arch.params import scaled_params
-    from repro.core.config import design
+def run_config(spec):
+    """One spec under every engine mode; returns {mode: RunStats}."""
     from repro.sim.simulator import clear_trace_cache, simulate
-    from repro.workloads.registry import build_kernel
 
     results = {}
-    for mode, overrides in MODES:
-        _apply_env(overrides)
+    for mode, engine in ENGINE_MODES.items():
+        # Unlike the runner (which leaves None fields to the ambient
+        # environment), the matrix pins all three escape hatches per
+        # mode — a stray REPRO_* var must not leak across modes.
+        _apply_env(replace(spec, engine=engine).engine.env())
         clear_trace_cache()
-        kernel = build_kernel(workload, scale="smoke")
-        kwargs = {"num_chiplets": chiplets, "topology": topology}
-        if contended:
-            kwargs["link_issue_interval"] = 1.0
-        params = scaled_params("smoke", **kwargs)
-        results[mode] = simulate(kernel, params, design(design_name), seed=seed)
+        results[mode] = simulate(
+            spec.kernel(), spec.params(), spec.vm_design(), seed=spec.seed
+        )
     return results
 
 
@@ -131,32 +153,28 @@ def main(argv=None):
 
     selected = configs(quick=args.quick)
     if args.list:
-        for config in selected:
+        for spec in selected:
             print("%s %s %s-%d%s" % (
-                config[0], config[1], config[2], config[3],
-                " contended" if config[4] else "",
+                spec.workload, spec.design, spec.geometry.topology,
+                spec.geometry.chiplets,
+                " contended" if _contended(spec) else "",
             ))
         return 0
 
     failures = []
     start = time.time()
-    for index, (workload, design_name, topology, chiplets, contended) in enumerate(
-        selected
-    ):
-        label = "%s/%s/%s-%d%s" % (
-            workload, design_name, topology, chiplets,
-            "/contended" if contended else "",
-        )
-        results = run_config(workload, design_name, topology, chiplets, contended)
+    for index, spec in enumerate(selected):
+        results = run_config(spec)
         reference = results["default"]
         bad = [
             mode for mode, stats in results.items()
             if stats != reference
         ]
         status = "ok" if not bad else "MISMATCH(%s)" % ",".join(bad)
-        print("[%3d/%d] %-40s %s" % (index + 1, len(selected), label, status))
+        print("[%3d/%d] %-40s %s"
+              % (index + 1, len(selected), label(spec), status))
         if bad:
-            failures.append(label)
+            failures.append(label(spec))
             for mode in bad:
                 for field in reference.__dataclass_fields__:
                     lhs = getattr(reference, field)
@@ -167,12 +185,13 @@ def main(argv=None):
     elapsed = time.time() - start
     print(
         "%d/%d configs equivalent across %d engine modes in %.1fs"
-        % (len(selected) - len(failures), len(selected), len(MODES), elapsed)
+        % (len(selected) - len(failures), len(selected), len(ENGINE_MODES),
+           elapsed)
     )
     if failures:
         print("FAILURES:")
-        for label in failures:
-            print("  " + label)
+        for label_ in failures:
+            print("  " + label_)
         return 1
     return 0
 

@@ -42,10 +42,21 @@ import logging
 import math
 import os
 import sys
+from dataclasses import replace
 
 from repro.arch.params import SCALES, scaled_params
 from repro.arch.topology import topology_names
 from repro.core.config import DESIGNS, design
+from repro.core.spec import (
+    GeometrySpec,
+    ProbeSpec,
+    SweepSpec,
+    as_sweep,
+    design_group,
+    load_spec,
+    preset_names,
+    resolve_preset,
+)
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import ExperimentRunner
 from repro.obs import (
@@ -63,7 +74,9 @@ from repro.workloads.registry import WORKLOAD_NAMES, build_kernel, workload_meta
 
 log = logging.getLogger("repro.cli")
 
-MAIN_DESIGNS = ["private", "shared", "mgvm-nobalance", "mgvm"]
+# The default design comparison (the paper's headline set), owned by the
+# spec registry so the CLI, figures and bench guards stay in sync.
+MAIN_DESIGNS = list(design_group("main"))
 
 
 def _resolve_workload(name):
@@ -91,30 +104,51 @@ def configure_logging(level_name):
     return level
 
 
-def _add_scale(parser):
+def _add_scale(parser, spec_backed=False):
+    kwargs = (
+        {"default": argparse.SUPPRESS} if spec_backed
+        else {"default": "default"}
+    )
     parser.add_argument(
-        "--scale", default="default", choices=sorted(SCALES), help="machine/workload scale"
+        "--scale",
+        choices=sorted(SCALES),
+        help="machine/workload scale (default: default)",
+        **kwargs,
     )
 
 
-def _add_logging(parser):
+def _add_logging(parser, root=False):
+    """Logging flags; the root parser owns the real defaults.
+
+    Subparser copies use ``argparse.SUPPRESS`` so they only touch the
+    namespace when the flag is actually given after the subcommand —
+    ``repro -v trace ...`` and ``repro trace ... -v`` both work, and
+    the subparser never clobbers a value the root already parsed (the
+    same absent-until-given convention the spec layer uses to tell
+    explicit flags from defaults).
+    """
     parser.add_argument(
         "--log-level",
-        default="warning",
         choices=["debug", "info", "warning", "error"],
         help="repro.* logger threshold (stderr diagnostics)",
+        **({"default": "warning"} if root else {"default": argparse.SUPPRESS}),
     )
     parser.add_argument(
         "-v",
         "--verbose",
         action="count",
-        default=0,
         help="-v = info, -vv = debug (shorthand for --log-level)",
+        **({"default": 0} if root else {"default": argparse.SUPPRESS}),
     )
 
 
 def _add_geometry(parser):
-    """Machine-geometry knobs (chiplet count and fabric topology)."""
+    """Machine-geometry knobs (chiplet count and fabric topology).
+
+    No argparse defaults: an absent flag stays ``None`` so the spec
+    layer can tell "not given" (inherit the preset/scale default) from
+    an explicit value.
+    """
     parser.add_argument(
         "--chiplets",
         type=int,
@@ -138,22 +172,89 @@ def _add_geometry(parser):
     )
 
 
+def _add_spec_base(parser):
+    """``--preset``/``--spec``: the spec base explicit flags override."""
+    parser.add_argument(
+        "--preset",
+        choices=preset_names(),
+        help="start from this named spec preset "
+        "(explicit flags override its fields; see docs/configuration.md)",
+    )
+    parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="start from a TOML/JSON spec file "
+        "(explicit flags override its fields)",
+    )
+
+
+def _base_sweep(args):
+    """The ``--preset``/``--spec`` base as a SweepSpec, or ``None``."""
+    name = getattr(args, "preset", None)
+    path = getattr(args, "spec", None)
+    if name and path:
+        raise SystemExit("repro: give --preset or --spec, not both")
+    try:
+        if name:
+            return as_sweep(resolve_preset(name))
+        if path:
+            return as_sweep(load_spec(path))
+    except (OSError, ValueError) as exc:
+        raise SystemExit("repro: %s" % exc)
+    return None
+
+
+_GEOMETRY_FLAGS = (
+    "chiplets", "topology", "link_latency", "inter_package_latency",
+)
+
+
+def _sweep_from_args(args, workload=None):
+    """Resolve flags to the effective :class:`SweepSpec`.
+
+    Precedence (lowest to highest): built-in defaults (the zero-arg
+    ``SweepSpec``), the ``--preset``/``--spec`` base, explicit flags.
+    Spec-backed flags use ``argparse.SUPPRESS`` defaults, so a flag is
+    an override exactly when it is present on the namespace.
+    """
+    sweep = _base_sweep(args) or SweepSpec()
+    updates = {}
+    if workload is not None:
+        updates["workloads"] = (workload,)
+    elif getattr(args, "workloads", None):
+        updates["workloads"] = tuple(args.workloads)
+    if getattr(args, "designs", None):
+        updates["designs"] = tuple(args.designs)
+    if hasattr(args, "scale"):
+        updates["scale"] = args.scale
+    if hasattr(args, "seed"):
+        updates["seed"] = args.seed
+    if hasattr(args, "audit"):
+        updates["probes"] = replace(sweep.probes, audit=True)
+    geometry = {
+        name: getattr(args, name)
+        for name in _GEOMETRY_FLAGS
+        if getattr(args, name, None) is not None
+    }
+    try:
+        if geometry:
+            updates["geometry"] = replace(sweep.geometry, **geometry)
+        if updates:
+            sweep = sweep.with_updates(**updates)
+        return sweep.validate()
+    except ValueError as exc:
+        raise SystemExit("repro: %s" % exc)
+
+
 def _geometry_overrides(args):
     """The GPUParams overrides implied by the geometry flags (or {})."""
-    overrides = {}
-    if getattr(args, "chiplets", None) is not None:
-        if args.chiplets < 2:
-            raise SystemExit("--chiplets must be >= 2")
-        overrides["num_chiplets"] = args.chiplets
-    if getattr(args, "topology", None) is not None:
-        overrides["topology"] = args.topology
-    if getattr(args, "link_latency", None) is not None:
-        if args.link_latency <= 0:
-            raise SystemExit("--link-latency must be positive")
-        overrides["link_latency"] = args.link_latency
-    if getattr(args, "inter_package_latency", None) is not None:
-        overrides["inter_package_latency"] = args.inter_package_latency
-    return overrides
+    kwargs = {
+        name: getattr(args, name, None) for name in _GEOMETRY_FLAGS
+    }
+    try:
+        return GeometrySpec(**kwargs).overrides()
+    except ValueError as exc:
+        raise SystemExit("repro: %s" % exc)
 
 
 def _add_jobs(parser):
@@ -221,44 +322,56 @@ def _print_audit_summaries(audits):
     return total
 
 
-def _run_audited(args, overrides):
+def _run_audited(sweep):
     """``repro run --audit``: simulate outside the cache, under audit."""
     from repro.experiments.runner import RunRecord
 
-    kernel = build_kernel(args.workload, scale=args.scale)
-    params = scaled_params(args.scale, **overrides)
     grid = {}
     audits = []
-    for name in args.designs:
+    for spec in sweep.points():
         audit = AuditProbe()
         stats = simulate(
-            kernel, params, design(name), seed=args.seed, probe=audit
+            spec.kernel(), spec.params(), spec.vm_design(),
+            seed=spec.seed, probe=audit,
         )
-        grid[(args.workload, name)] = RunRecord.from_stats(
-            args.workload, name, stats
+        grid[(spec.workload, spec.design)] = RunRecord.from_stats(
+            spec.workload, spec.design, stats
         )
-        audits.append((name, audit))
+        audits.append((spec.design, audit))
     return grid, audits
 
 
+def _run_workload(args, sweep):
+    """The single workload ``repro run`` targets (positional or spec)."""
+    if getattr(args, "workload", None):
+        return args.workload
+    if len(sweep.workloads) == 1:
+        return sweep.workloads[0]
+    raise SystemExit(
+        "repro run: name a workload (positional) or give a --preset/"
+        "--spec that pins exactly one"
+    )
+
+
 def cmd_run(args):
-    overrides = _geometry_overrides(args)
+    sweep = _sweep_from_args(args)
+    sweep = sweep.with_updates(workloads=(_run_workload(args, sweep),))
+    workload = sweep.workloads[0]
+    overrides = sweep.overrides()
     audits = None
-    if args.audit:
+    if sweep.probes.audit:
         # Audited runs bypass the run cache: the point is to *observe*
         # this simulation, and cached records carry no probe stream.
-        grid, audits = _run_audited(args, overrides)
+        grid, audits = _run_audited(sweep)
     else:
         runner = ExperimentRunner(
-            scale=args.scale, seed=args.seed, workers=args.jobs
+            scale=sweep.scale, seed=sweep.seed, workers=args.jobs
         )
-        grid = runner.run_matrix(
-            [args.workload], args.designs, overrides=overrides or None
-        )
+        grid = runner.run_sweep(sweep)
     rows = []
     baseline = None
-    for name in args.designs:
-        record = grid[(args.workload, name)]
+    for name in sweep.designs:
+        record = grid[(workload, name)]
         if baseline is None:
             baseline = record.throughput
             if not baseline:
@@ -320,28 +433,27 @@ def cmd_figure(args):
 
 
 def cmd_sweep(args):
-    workloads = args.workloads or list(WORKLOAD_NAMES)
+    sweep = _sweep_from_args(args)
+    workloads = list(sweep.resolved_workloads())
+    designs = list(sweep.designs)
     with ExperimentRunner(
-        scale=args.scale,
+        scale=sweep.scale,
+        seed=sweep.seed,
         cache_path=args.cache,
         verbose=True,
         workers=args.jobs,
         store_path=args.store,
         stream_path=args.stream,
     ) as runner:
-        grid = runner.run_matrix(
-            workloads,
-            args.designs,
-            overrides=_geometry_overrides(args) or None,
-        )
+        grid = runner.run_sweep(sweep)
     records = [
         grid[(workload, design_name)]
         for workload in workloads
-        for design_name in args.designs
+        for design_name in designs
     ]
     write_raw_csv(records, args.out)
     normalized = args.out.replace(".csv", "") + ".normalized.csv"
-    write_normalized_csv(records, normalized, baseline_design=args.designs[0])
+    write_normalized_csv(records, normalized, baseline_design=designs[0])
     print("wrote %s and %s" % (args.out, normalized))
     return 0
 
@@ -787,28 +899,40 @@ def build_parser():
         prog="repro",
         description="MCM GPU virtual-memory simulator (MICRO 2022 reproduction)",
     )
-    _add_logging(parser)
-    # argparse defaults are only applied to attributes the namespace does
-    # not already carry, so repeating the logging options on every
-    # subparser lets them be given before *or* after the subcommand
-    # (``repro -v trace ...`` and ``repro trace ... -v`` both work).
+    _add_logging(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_p = sub.add_parser("list", help="list workloads and design points")
     _add_logging(list_p)
 
     run_p = sub.add_parser("run", help="simulate one workload")
-    run_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
-    run_p.add_argument("--designs", nargs="+", default=MAIN_DESIGNS,
-                       choices=sorted(DESIGNS))
-    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "workload",
+        nargs="?",
+        choices=list(WORKLOAD_NAMES),
+        help="workload to simulate (optional when --preset/--spec "
+        "pins exactly one)",
+    )
+    run_p.add_argument(
+        "--designs",
+        nargs="+",
+        default=argparse.SUPPRESS,
+        choices=sorted(DESIGNS),
+        help="design points to compare (default: %s)" % " ".join(MAIN_DESIGNS),
+    )
+    run_p.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="simulation seed (default: 0)",
+    )
     run_p.add_argument(
         "--audit",
         action="store_true",
+        default=argparse.SUPPRESS,
         help="attach the online invariant auditor to every simulation "
         "(bypasses the run cache); exit nonzero on any violation",
     )
-    _add_scale(run_p)
+    _add_spec_base(run_p)
+    _add_scale(run_p, spec_backed=True)
     _add_geometry(run_p)
     _add_jobs(run_p)
     _add_logging(run_p)
@@ -823,11 +947,26 @@ def build_parser():
     _add_logging(fig_p)
 
     sweep_p = sub.add_parser("sweep", help="run a workload/design matrix to CSV")
-    sweep_p.add_argument("--workloads", nargs="*", choices=list(WORKLOAD_NAMES))
-    sweep_p.add_argument("--designs", nargs="+", default=MAIN_DESIGNS,
-                         choices=sorted(DESIGNS))
+    sweep_p.add_argument(
+        "--workloads",
+        nargs="*",
+        choices=list(WORKLOAD_NAMES),
+        help="workloads to sweep (default: all)",
+    )
+    sweep_p.add_argument(
+        "--designs",
+        nargs="+",
+        default=argparse.SUPPRESS,
+        choices=sorted(DESIGNS),
+        help="design points to sweep (default: %s)" % " ".join(MAIN_DESIGNS),
+    )
+    sweep_p.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="simulation seed (default: 0)",
+    )
     sweep_p.add_argument("--out", default="results.csv")
     sweep_p.add_argument("--cache", help="JSON run-cache path")
+    _add_spec_base(sweep_p)
     sweep_p.add_argument(
         "--store",
         help="also record every run (counters + epoch metrics) into "
@@ -838,7 +977,7 @@ def build_parser():
         help="append live line-delimited-JSON job/metric events to "
         "this file (tail it with `repro top`)",
     )
-    _add_scale(sweep_p)
+    _add_scale(sweep_p, spec_backed=True)
     _add_geometry(sweep_p)
     _add_jobs(sweep_p)
     _add_logging(sweep_p)

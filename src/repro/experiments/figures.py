@@ -28,13 +28,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.core.spec import LARGE_PAGE_WORKLOADS, design_group
+from repro.core.spec import SCALING_CHIPLETS, SCALING_TOPOLOGIES
 from repro.stats.report import format_table, geomean
 from repro.workloads.registry import WORKLOAD_NAMES
 
 ALL = list(WORKLOAD_NAMES)
-
-# The subset the paper evaluates with large pages (Figure 11).
-LARGE_PAGE_WORKLOADS = ["J2D", "SYR2", "PR", "S2D", "SYRK", "MT"]
 
 
 @dataclass
@@ -181,7 +180,7 @@ def figure5(runner, workloads=None):
 def figure7(runner, workloads=None):
     """Throughput of the four main designs, normalized to private."""
     workloads = workloads or ALL
-    designs = ["private", "shared", "mgvm-nobalance", "mgvm"]
+    designs = list(design_group("main"))
     runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
@@ -199,15 +198,12 @@ def figure7(runner, workloads=None):
 def table3(runner, workloads=None):
     """L2 TLB MPKI under private, shared and MGvm."""
     workloads = workloads or ALL
-    runner.prefetch(workloads, ["private", "shared", "mgvm"])
+    scaling = design_group("scaling")
+    runner.prefetch(workloads, scaling)
     rows = []
     for workload in workloads:
         rows.append(
-            [workload]
-            + [
-                runner.run(workload, d).mpki
-                for d in ("private", "shared", "mgvm")
-            ]
+            [workload] + [runner.run(workload, d).mpki for d in scaling]
         )
     return FigureResult(
         "Table III: L2 TLB MPKI",
@@ -238,7 +234,7 @@ def figure9(runner, workloads=None):
     return _pw_split(
         runner,
         workloads or ALL,
-        ["private", "shared", "mgvm"],
+        list(design_group("scaling")),
         "Figure 9: page walk accesses local vs remote (P/S/M)",
     )
 
@@ -246,12 +242,11 @@ def figure9(runner, workloads=None):
 def figure10(runner, workloads=None):
     """Average page-walk latency, normalized to private."""
     workloads = workloads or ALL
-    runner.prefetch(workloads, ["private", "shared", "mgvm"])
+    scaling = design_group("scaling")
+    runner.prefetch(workloads, scaling)
     rows = []
     for workload in workloads:
-        records = [
-            runner.run(workload, d) for d in ("private", "shared", "mgvm")
-        ]
+        records = [runner.run(workload, d) for d in scaling]
         base = records[0].avg_walk_latency or 1.0
         rows.append(
             [workload] + [r.avg_walk_latency / base for r in records]
@@ -273,14 +268,13 @@ def figure11(runner, workloads=None, mult=4):
     """Throughput with 64 KB pages (footprints scaled up, as in the paper)."""
     workloads = workloads or LARGE_PAGE_WORKLOADS
     overrides = {"page_size": 64 * 1024}
-    runner.prefetch(
-        workloads, ["private", "shared", "mgvm"], overrides=overrides, mult=mult
-    )
+    scaling = design_group("scaling")
+    runner.prefetch(workloads, scaling, overrides=overrides, mult=mult)
     rows = []
     for workload in workloads:
         records = [
             runner.run(workload, d, overrides=overrides, mult=mult)
-            for d in ("private", "shared", "mgvm")
+            for d in scaling
         ]
         base = records[0].throughput
         rows.append([workload] + [r.throughput / base for r in records])
@@ -360,7 +354,7 @@ def figure13(runner, workloads=None):
 def figure14(runner, workloads=None):
     """Naive round-robin baseline: MGvm-RR vs private/shared (Fig 14)."""
     workloads = workloads or ALL
-    designs = ["private-rr", "shared-rr", "mgvm-rr"]
+    designs = list(design_group("rr"))
     runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
@@ -378,7 +372,7 @@ def figure14(runner, workloads=None):
 def figure15(runner, workloads=None):
     """Page-table replication (PW-all-local) vs MGvm (Fig 15)."""
     workloads = workloads or ALL
-    designs = ["private-ptr", "shared-ptr", "mgvm"]
+    designs = list(design_group("ptr"))
     runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
@@ -632,7 +626,7 @@ def extension_uvm(runner, workloads=None):
     retain its remote-walk advantage even when pages arrive by fault.
     """
     workloads = workloads or ALL
-    designs = ["first-touch", "shared-uvm", "mgvm-uvm"]
+    designs = list(design_group("uvm"))
     runner.prefetch(workloads, designs)
     rows = []
     for workload in workloads:
@@ -650,9 +644,11 @@ def extension_uvm(runner, workloads=None):
     )
 
 
-SCALING_CHIPLETS = [2, 4, 8]
-SCALING_TOPOLOGIES = ["all-to-all", "ring", "mesh"]
-SCALING_DESIGNS = ["private", "shared", "mgvm"]
+# Sweep axes of the chiplet-scaling extension.  The chiplet/topology
+# axes and the design group live in the spec registry (repro.core.spec)
+# so the CLI, the presets and the bench guards share them; the names
+# are re-exported here for the figure-layer callers that predate it.
+SCALING_DESIGNS = design_group("scaling")
 
 
 def extension_scaling(
@@ -679,9 +675,9 @@ def extension_scaling(
     diameter.
     """
     workloads = workloads or ALL
-    chiplets = chiplets or SCALING_CHIPLETS
-    topologies = topologies or SCALING_TOPOLOGIES
-    designs = designs or SCALING_DESIGNS
+    chiplets = list(chiplets or SCALING_CHIPLETS)
+    topologies = list(topologies or SCALING_TOPOLOGIES)
+    designs = list(designs or SCALING_DESIGNS)
     if "private" not in designs:
         raise ValueError("scaling figure needs the 'private' baseline")
     rows = []

@@ -33,7 +33,6 @@ PR-1 ``ExperimentRunner`` JSON caches and
 trajectory, so historical results join the queryable record.
 """
 
-import hashlib
 import json
 import os
 import sqlite3
@@ -116,12 +115,19 @@ _SCHEMA = [
 
 
 def config_hash(scale, workload, design, overrides, mult, seed):
-    """Stable hash of one run configuration (the cache-key fields)."""
-    items = tuple(sorted((overrides or {}).items()))
-    payload = json.dumps(
-        [scale, workload, design, items, mult, seed], sort_keys=True
-    )
-    return hashlib.sha1(payload.encode()).hexdigest()[:16]
+    """Stable hash of one run configuration (the cache-key fields).
+
+    Thin legacy wrapper: the hash is defined by
+    :meth:`repro.core.spec.ExperimentSpec.config_hash` (sha1 of the
+    canonical run-cache key), so rows written through either path carry
+    identical hashes.
+    """
+    from repro.core.spec import ExperimentSpec
+
+    return ExperimentSpec.from_overrides(
+        workload, design, overrides=overrides,
+        scale=scale, seed=seed, mult=mult,
+    ).config_hash()
 
 
 class RunStore:
@@ -338,7 +344,8 @@ class RunStore:
         from the cache, so imported history gates identically.  Returns
         the number of runs imported.
         """
-        from repro.stats.diff import flatten_counters, split_overrides
+        from repro.core.spec import ExperimentSpec
+        from repro.stats.diff import flatten_counters
 
         with open(path) as handle:
             payload = json.load(handle)
@@ -350,31 +357,27 @@ class RunStore:
         imported = 0
         for raw_key, record in payload.items():
             try:
-                scale, workload, design, items, mult, seed = json.loads(
-                    raw_key
-                )
-                overrides = dict(items)
-            except (ValueError, TypeError):
+                spec = ExperimentSpec.from_cache_key(raw_key)
+            except ValueError:
                 raise StoreError(
                     "%s: unparseable run-cache key %r" % (path, raw_key)
                 )
-            chiplets, topology, qualifier = split_overrides(
-                overrides, mult=mult, seed=seed, scale=scale
-            )
+            # The qualifier keeps the scale in band (matching how `repro
+            # diff` keys a JSON manifest), while the scale column keeps
+            # it queryable.
+            _, _, chiplets, topology, qualifier = spec.alignment_key()
             self.insert_run(
-                workload,
-                design,
+                spec.workload,
+                spec.design,
                 flatten_counters(record),
                 status="imported",
                 chiplets=chiplets,
                 topology=topology,
                 qualifier=qualifier,
-                scale=scale or "default",
-                mult=mult,
-                seed=seed,
-                config_hash=config_hash(
-                    scale, workload, design, dict(items), mult, seed
-                ),
+                scale=spec.scale,
+                mult=spec.mult,
+                seed=spec.seed,
+                config_hash=spec.config_hash(),
                 git_rev=git_rev,
                 host=host,
                 sweep_id=sweep_id,

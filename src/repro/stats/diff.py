@@ -175,21 +175,17 @@ def _load_json_manifest(path):
             "%s: expected a JSON object keyed by run configuration"
             % (path,)
         )
+    from repro.core.spec import ExperimentSpec
+
     out = {}
     for raw_key, record in payload.items():
         try:
-            scale, workload, design_name, items, mult, seed = json.loads(
-                raw_key
-            )
-            overrides = dict(items)
-        except (ValueError, TypeError):
+            spec = ExperimentSpec.from_cache_key(raw_key)
+        except ValueError:
             raise ValueError(
                 "%s: unparseable run-cache key %r" % (path, raw_key)
             )
-        chiplets, topology, qualifier = split_overrides(
-            overrides, mult=mult, seed=seed, scale=scale
-        )
-        key = (workload, design_name, chiplets, topology, qualifier)
+        key = spec.alignment_key()
         counters = quantize_counters(flatten_counters(record))
         if key in out:
             raise ValueError(
