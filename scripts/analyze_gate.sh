@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# The latency-anatomy pipeline gate, with a built-in self-test (the
+# tail-latency counterpart of scripts/store_gate.sh).
+#
+# Steps:
+#   1. run a smoke sweep (SYR2, 8-chiplet ring) that records per-stage
+#      latency digests into a fresh sqlite telemetry store;
+#   2. render the anatomy report from the store (`repro analyze`) and
+#      require the stage decomposition to reconcile against the
+#      end-to-end mean;
+#   3. show the store query with its p50/p95/p99 columns (`repro
+#      report`);
+#   4. SELF-TEST the tail gate: inject a 50% p99 inflation into a tail
+#      manifest dumped from the store and require `repro diff --tail`
+#      to FAIL on it;
+#   5. require `repro diff --tail` to PASS comparing the store against
+#      its own untouched manifest (no false positives).
+#
+# Usage: scripts/analyze_gate.sh [tail_rel_tol]
+#   WORK_DIR   scratch dir (default: fresh temp dir, removed on exit)
+
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+TAIL_REL_TOL="${1:-0.10}"
+
+if [ -z "${WORK_DIR:-}" ]; then
+    WORK_DIR="$(mktemp -d)"
+    trap 'rm -rf "$WORK_DIR"' EXIT
+fi
+
+STORE="$WORK_DIR/runs.db"
+
+echo "== smoke sweep (SYR2, ring-8) into the telemetry store =="
+python -m repro sweep --scale smoke --workloads SYR2 \
+    --designs private mgvm --chiplets 8 --topology ring \
+    --out "$WORK_DIR/sweep.csv" --store "$STORE" >/dev/null
+
+echo "== latency anatomy from stored digests (repro analyze) =="
+python -m repro analyze "$STORE" | tee "$WORK_DIR/analysis.txt"
+grep -q "reconciled" "$WORK_DIR/analysis.txt" || {
+    echo "FATAL: stage decomposition did not reconcile" >&2
+    exit 1
+}
+
+echo "== store query with percentile columns (repro report) =="
+python -m repro report --store "$STORE" --scale smoke --limit 5
+
+echo "== self-test: injected 50% p99 inflation must FAIL =="
+python - "$STORE" "$WORK_DIR" <<'EOF'
+import sys
+
+from repro.stats.diff import load_store_tail_manifest, write_tail_manifest
+
+store, workdir = sys.argv[1], sys.argv[2]
+manifest = load_store_tail_manifest(store, scale="smoke")
+assert manifest, "the sweep stored no latency digests"
+write_tail_manifest(workdir + "/tails.json", manifest)
+key = sorted(manifest)[0]
+manifest[key] = dict(
+    manifest[key],
+    lat_total_p99=float(manifest[key]["lat_total_p99"]) * 1.5,
+)
+write_tail_manifest(workdir + "/inflated.json", manifest)
+EOF
+if python -m repro diff "$WORK_DIR/inflated.json" --store "$STORE" \
+        --tail --scale smoke --tail-rel-tol "$TAIL_REL_TOL" >/dev/null; then
+    echo "FATAL: the tail gate did not catch an injected p99 inflation" >&2
+    exit 1
+fi
+echo "ok: injected tail regression caught"
+
+echo "== self-test: store vs its own tail manifest must PASS =="
+python -m repro diff "$WORK_DIR/tails.json" --store "$STORE" \
+    --tail --scale smoke --tail-rel-tol "$TAIL_REL_TOL"
+echo "analyze gate passed"

@@ -67,7 +67,12 @@ from repro.obs import (
     TraceProbe,
 )
 from repro.sim.simulator import simulate
-from repro.stats.diff import diff_paths, format_report as format_diff_report
+from repro.stats.diff import (
+    TAIL_ABS_TOL,
+    TAIL_REL_TOL,
+    diff_paths,
+    format_report as format_diff_report,
+)
 from repro.stats.export import write_normalized_csv, write_raw_csv
 from repro.stats.report import format_table
 from repro.workloads.registry import WORKLOAD_NAMES, build_kernel, workload_metadata
@@ -559,6 +564,58 @@ def cmd_profile(args):
     return 0
 
 
+def _diff_tail(args):
+    """``repro diff --tail``: gate per-stage p95/p99 digest quantiles.
+
+    Tail manifests come from run stores (newest digest-bearing run per
+    configuration) or JSON dumps (``write_tail_manifest``); both sides
+    quantize at the manifest boundary.  Tolerances are independent of
+    (and looser than) the counter gate — percentiles are
+    bucket-quantized order statistics, not means.
+    """
+    from repro.stats.diff import (
+        compare,
+        load_store_tail_manifest,
+        load_tail_manifest,
+    )
+
+    if args.store:
+        if args.candidate is not None:
+            raise SystemExit(
+                "repro diff --tail: pass either --store or two "
+                "manifests, not both"
+            )
+        baseline = load_store_tail_manifest(args.store, scale=args.scale)
+        source = "store %s (scale=%s)" % (args.store, args.scale)
+        if not baseline:
+            raise SystemExit(
+                "repro diff --tail: store %s holds no latency digests "
+                "for scale=%s" % (args.store, args.scale)
+            )
+        candidate = load_tail_manifest(args.baseline, scale=args.scale)
+    else:
+        if args.candidate is None:
+            raise SystemExit(
+                "repro diff --tail: two manifests are required "
+                "(or pass --store for a store-gated baseline)"
+            )
+        source = None
+        baseline = load_tail_manifest(args.baseline, scale=args.scale)
+        candidate = load_tail_manifest(args.candidate, scale=args.scale)
+    pool = set()
+    for row in list(baseline.values()) + list(candidate.values()):
+        pool.update(row)
+    report = compare(
+        baseline,
+        candidate,
+        rel_tol=args.tail_rel_tol,
+        abs_tol=args.tail_abs_tol,
+        counters=args.counters or None,
+        counter_pool=pool,
+    )
+    return report, source
+
+
 def cmd_diff(args):
     from repro.stats.diff import compare, load_manifest, load_store_manifest
 
@@ -569,7 +626,9 @@ def cmd_diff(args):
     )
     source = None
     try:
-        if args.store:
+        if args.tail:
+            report, source = _diff_tail(args)
+        elif args.store:
             # Store-gated mode: the baseline is the newest stored run
             # per configuration; an optional second positional is the
             # golden manifest to fall back on while the store is empty.
@@ -611,7 +670,50 @@ def cmd_diff(args):
     return 0 if report["ok"] else 1
 
 
+def cmd_analyze(args):
+    from repro.obs.analysis import analyze_path, format_analysis
+
+    try:
+        report = analyze_path(args.source, run_id=args.run, top=args.top)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("repro analyze: %s" % exc)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        if "run_id" in report:
+            print(
+                "latency anatomy of run %s in %s"
+                % (report["run_id"], args.source)
+            )
+        print(format_analysis(report, heatmap=not args.no_heatmap))
+    # A decomposition that does not reconcile with the end-to-end mean
+    # is a bug somewhere in the anatomy pipeline — fail loudly.
+    return 0 if report["reconciliation"]["ok"] else 1
+
+
 _REPORT_COUNTERS = ["throughput", "mpki", "cycles", "l2_hit_rate"]
+
+#: Percentile columns `repro report` derives from stored digests.
+_REPORT_QUANTILES = ("p50", "p95", "p99")
+
+
+def _report_percentiles(store, run_id):
+    """p50/p95/p99 of one run's end-to-end latency, or None."""
+    from repro.obs.digest import TOTAL_STAGE, merge_rows
+
+    rows = [
+        row
+        for row in store.digests_for(run_id)
+        if row["stage"] == TOTAL_STAGE
+    ]
+    if not rows:
+        return None
+    digest = merge_rows(rows)[TOTAL_STAGE]
+    return {
+        "p50": digest.quantile(0.50),
+        "p95": digest.quantile(0.95),
+        "p99": digest.quantile(0.99),
+    }
 
 
 def _short_rev(git_rev):
@@ -655,12 +757,16 @@ def cmd_report(args):
         violations = {
             run["id"]: store.violation_count(run["id"]) for run in runs
         }
+        percentiles = {
+            run["id"]: _report_percentiles(store, run["id"])
+            for run in runs
+        }
     counters = args.counters or _REPORT_COUNTERS
     if args.trend:
         return _report_trend(runs, args)
     header = [
         "id", "when", "config", "scale", "status", "git", "violations",
-    ] + counters
+    ] + counters + list(_REPORT_QUANTILES)
     table_rows = []
     for run in runs:
         import datetime
@@ -684,12 +790,20 @@ def cmd_report(args):
                 else "-"
                 for name in counters
             ]
+            + [
+                "%.6g" % percentiles[run["id"]][name]
+                if percentiles[run["id"]]
+                and percentiles[run["id"]][name] is not None
+                else "-"
+                for name in _REPORT_QUANTILES
+            ]
         )
     if args.json:
         payload = []
         for run in runs:
             entry = dict(run)
             entry["violations"] = violations[run["id"]]
+            entry["latency_percentiles"] = percentiles[run["id"]]
             payload.append(entry)
         print(json.dumps(payload, indent=2, sort_keys=True, default=str))
     elif args.csv:
@@ -1110,6 +1224,27 @@ def build_parser():
         "(default: every shared numeric column)",
     )
     diff_p.add_argument(
+        "--tail",
+        action="store_true",
+        help="gate per-stage latency p95/p99 from stored digests "
+        "instead of counter means (uses --tail-rel-tol/--tail-abs-tol)",
+    )
+    diff_p.add_argument(
+        "--tail-rel-tol",
+        type=float,
+        default=TAIL_REL_TOL,
+        help="relative tolerance per tail quantile (default %d%%; "
+        "looser than the counter gate — percentiles are "
+        "bucket-quantized order statistics)" % round(TAIL_REL_TOL * 100),
+    )
+    diff_p.add_argument(
+        "--tail-abs-tol",
+        type=float,
+        default=TAIL_ABS_TOL,
+        help="absolute slack in cycles below which tail deltas are "
+        "ignored (default %g)" % TAIL_ABS_TOL,
+    )
+    diff_p.add_argument(
         "--json",
         action="store_true",
         help="emit the structured report as JSON instead of a table",
@@ -1121,6 +1256,39 @@ def build_parser():
         help="violations shown in the table rendering",
     )
     _add_logging(diff_p)
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="latency anatomy: critical paths, queueing vs service, "
+        "per-chiplet heatmap from traces or stored digests",
+    )
+    analyze_p.add_argument(
+        "source",
+        help="TraceProbe JSONL spans (repro trace --jsonl) or a sqlite "
+        "telemetry store with latency digests (repro sweep --store)",
+    )
+    analyze_p.add_argument(
+        "--run",
+        type=int,
+        help="store run id to analyze (default: newest run with digests)",
+    )
+    analyze_p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="slowest requests drilled down (spans source only)",
+    )
+    analyze_p.add_argument(
+        "--no-heatmap",
+        action="store_true",
+        help="omit the per-chiplet x stage heatmap matrix",
+    )
+    analyze_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured report as JSON instead of text",
+    )
+    _add_logging(analyze_p)
 
     report_p = sub.add_parser(
         "report",
@@ -1210,6 +1378,7 @@ def main(argv=None):
         "trace": cmd_trace,
         "profile": cmd_profile,
         "diff": cmd_diff,
+        "analyze": cmd_analyze,
         "report": cmd_report,
         "top": cmd_top,
     }

@@ -17,6 +17,12 @@ Concrete probes:
 * :class:`MetricsRecorder` — per-chiplet time-series samples (incoming /
   serviced / hit-rate / walk-queue depth) every N observed events plus
   on every RTU epoch roll and balance alert/switch, exported as CSV.
+* :class:`LatencyProbe` — always-on translation-latency anatomy: every
+  completed request decomposed into per-(stage, chiplet)
+  :class:`LatencyDigest` streaming histograms (mergeable log buckets,
+  exact-within-bin p50/p95/p99), cheap enough for sweep scale; the
+  substrate for ``repro analyze`` / ``repro report`` percentiles /
+  ``repro diff --tail``.
 * :class:`AuditProbe` — online invariant checker: request conservation,
   MSHR balance, walker grant/level/done pairing, per-request timestamp
   monotonicity, fabric-latency charging and RTU epoch reconciliation,
@@ -38,6 +44,7 @@ behind ``repro sweep --store`` / ``repro report`` / ``repro diff
 See ``docs/observability.md`` for the full protocol and file formats.
 """
 
+from repro.obs.digest import LatencyDigest, LatencyProbe
 from repro.obs.probe import NULL_PROBE, MultiProbe, Probe
 from repro.obs.span import Hop, Span
 from repro.obs.trace import TraceProbe
@@ -66,6 +73,8 @@ __all__ = [
     "Hop",
     "Span",
     "TraceProbe",
+    "LatencyDigest",
+    "LatencyProbe",
     "MetricsRecorder",
     "AuditError",
     "AuditProbe",

@@ -1,0 +1,445 @@
+"""Offline latency-anatomy analyzer behind ``repro analyze``.
+
+Consumes either of the two latency artifacts the stack produces —
+
+* **TraceProbe JSONL spans** (``repro trace --jsonl``): full per-request
+  hop timelines.  The analyzer reconstructs each request's *critical
+  path* (hop chain plus the implicit waits between hops), decomposes it
+  into the stage taxonomy of :mod:`repro.obs.digest`, and reports a
+  queueing-vs-service table, a slowest-N drill-down and a
+  per-chiplet×stage heatmap.
+* **Stored latency digests** (``repro sweep --store`` writes them
+  always-on): per-(stage, chiplet) histograms.  Per-request paths are
+  gone, but stage means/percentiles, the heatmap and the
+  queueing-vs-service split survive — at sweep scale and ~zero cost.
+
+Both modes reconcile the decomposition: the summed per-stage means must
+reproduce the end-to-end mean translation latency (exactly for digests,
+whose cursor stages partition each request by construction; within
+float rounding for spans).
+"""
+
+import json
+import os
+
+from repro.obs.digest import (
+    CURSOR_STAGES,
+    QUEUE_STAGES,
+    TOTAL_STAGE,
+    LatencyDigest,
+    hop_stage,
+    merge_rows,
+)
+from repro.stats.report import format_table
+
+#: Stage display order (detail stages follow the cursor partition).
+_STAGE_ORDER = (
+    "l1",
+    "route",
+    "l2-queue",
+    "l2-service",
+    "mshr-wait",
+    "walk",
+    "fill",
+    TOTAL_STAGE,
+    "walk-queue",
+)
+
+#: Reconciliation tolerance: float-sum rounding only, the partition is
+#: exact by construction.
+RECONCILE_TOL = 1e-6
+
+
+def _stage_sort_key(stage):
+    try:
+        return (0, _STAGE_ORDER.index(stage))
+    except ValueError:
+        return (1, stage)  # walk-l<N>-{local,remote} detail, name order
+
+
+def load_spans(path):
+    """TraceProbe JSONL spans as dicts; skips torn/corrupt lines."""
+    spans = []
+    with open(path) as handle:
+        text = handle.read()
+    complete, _, _partial = text.rpartition("\n")
+    for line in complete.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(span, dict) and span.get("hops"):
+            spans.append(span)
+    return spans
+
+
+def infer_l2_service_latency(spans):
+    """The slice lookup latency, inferred as the minimum l2-hop width.
+
+    The lookup itself is a fixed port latency; any excess over the
+    minimum is queueing.  Exact whenever at least one lookup went
+    through an idle port (always true in practice).
+    """
+    minimum = None
+    for span in spans:
+        for hop in span["hops"]:
+            if hop["cat"] == "l2":
+                width = hop["t1"] - hop["t0"]
+                if minimum is None or width < minimum:
+                    minimum = width
+    return minimum or 0.0
+
+
+def span_segments(span, l2_service):
+    """One request's critical path: ``(stage, t0, t1, chiplet, label)``.
+
+    Hops in time order with the implicit waits made explicit: the l2
+    hop splits into queue+service, a merged request's wait from the
+    MSHR marker to the response becomes ``mshr-wait``, and an MSHR
+    leader's gap from lookup-miss to response becomes ``walk`` (its
+    walker/PTE detail hops overlay that interval).
+    """
+    hops = sorted(span["hops"], key=lambda hop: (hop["t0"], hop["t1"]))
+    segments = []
+    pending = None  # (stage, since, chiplet) an open wait interval
+    for hop in hops:
+        cat, name = hop["cat"], hop["name"]
+        t0, t1, chiplet = hop["t0"], hop["t1"], hop["chiplet"]
+        stage = hop_stage(cat, name)
+        if cat == "walk":
+            # Walk detail overlays the leader's pending walk interval;
+            # record it without closing the wait.
+            segments.append((stage, t0, t1, chiplet, name))
+            continue
+        if pending is not None and cat == "fill":
+            wait_stage, since, wait_chiplet = pending
+            segments.append(
+                (wait_stage, since, t0, wait_chiplet, wait_stage)
+            )
+            pending = None
+        if cat == "l2":
+            queue = max(0.0, (t1 - t0) - l2_service)
+            if queue:
+                segments.append(("l2-queue", t0, t0 + queue, chiplet, name))
+            segments.append(
+                ("l2-service", t1 - min(t1 - t0, l2_service), t1,
+                 chiplet, name)
+            )
+            if name == "l2_miss":
+                pending = ("walk", t1, chiplet)
+            continue
+        if cat == "mshr":
+            pending = ("mshr-wait", t1, chiplet)
+            continue
+        segments.append((stage, t0, t1, chiplet, name))
+    return segments
+
+
+def analyze_spans(spans, top=10):
+    """Aggregate span-mode report; see the module docstring."""
+    l2_service = infer_l2_service_latency(spans)
+    stage_digests = {}  # stage -> LatencyDigest (per request sums)
+    cells = {}  # (stage, chiplet) -> [count, total]
+    totals = LatencyDigest()
+    ranked = []
+    for span in spans:
+        latency = span.get("latency")
+        if latency is None:
+            continue
+        totals.record(latency)
+        per_stage = {}
+        for stage, t0, t1, chiplet, _label in span_segments(
+            span, l2_service
+        ):
+            width = t1 - t0
+            per_stage[stage] = per_stage.get(stage, 0.0) + width
+            cell = cells.setdefault((stage, chiplet), [0, 0.0])
+            cell[0] += 1
+            cell[1] += width
+        for stage, width in per_stage.items():
+            digest = stage_digests.get(stage)
+            if digest is None:
+                digest = stage_digests[stage] = LatencyDigest()
+            digest.record(width)
+        ranked.append((latency, span, per_stage))
+    ranked.sort(key=lambda item: -item[0])
+    slowest = [
+        {
+            "sid": span.get("sid"),
+            "vpn": span.get("vpn"),
+            "origin": span.get("origin"),
+            "outcome": span.get("outcome"),
+            "merged": span.get("merged"),
+            "latency": latency,
+            "stages": {
+                stage: round(width, 3)
+                for stage, width in sorted(per_stage.items())
+            },
+            "path": [
+                {
+                    "stage": stage,
+                    "t0": t0,
+                    "t1": t1,
+                    "chiplet": chiplet,
+                    "label": label,
+                }
+                for stage, t0, t1, chiplet, label in span_segments(
+                    span, l2_service
+                )
+            ],
+        }
+        for latency, span, per_stage in ranked[:top]
+    ]
+    report = _stage_report(stage_digests, totals, cells)
+    report["source"] = "spans"
+    report["l2_service_latency"] = l2_service
+    report["slowest"] = slowest
+    # Span partitions include the l1 hop (span t0 predates req.t0 by
+    # the L1 latency), so reconcile against the cursor stages plus l1.
+    stage_sum = sum(
+        stage_digests[s].total
+        for s in tuple(CURSOR_STAGES) + ("l1",)
+        if s in stage_digests
+    )
+    _reconcile(report, stage_sum, totals)
+    return report
+
+
+def analyze_digest_rows(rows):
+    """Aggregate digest-mode report from store/bus digest rows."""
+    merged = merge_rows(rows)
+    totals = merged.pop(TOTAL_STAGE, LatencyDigest())
+    cells = {}
+    for row in rows:
+        if row["stage"] == TOTAL_STAGE:
+            continue
+        cells[(row["stage"], row.get("chiplet"))] = [
+            int(row["count"]),
+            float(row["total"]),
+        ]
+    report = _stage_report(merged, totals, cells)
+    report["source"] = "digests"
+    stage_sum = sum(
+        merged[s].total for s in CURSOR_STAGES if s in merged
+    )
+    _reconcile(report, stage_sum, totals)
+    return report
+
+
+def _stage_report(stage_digests, totals, cells):
+    """Shared stage table + queueing split + heatmap assembly."""
+    requests = totals.count
+    stage_table = []
+    for stage in sorted(stage_digests, key=_stage_sort_key):
+        digest = stage_digests[stage]
+        stage_table.append(
+            {
+                "stage": stage,
+                "count": digest.count,
+                "mean": digest.mean,
+                "p50": digest.quantile(0.50),
+                "p95": digest.quantile(0.95),
+                "p99": digest.quantile(0.99),
+                "per_request": digest.total / requests if requests else None,
+                "kind": "queue" if stage in QUEUE_STAGES else "service",
+            }
+        )
+    queue = sum(
+        d.total for s, d in stage_digests.items() if s in QUEUE_STAGES
+    )
+    # walk-queue overlays the walk cursor stage: count the partition
+    # stages once for the service side.
+    service = sum(
+        stage_digests[s].total
+        for s in CURSOR_STAGES
+        if s in stage_digests and s not in QUEUE_STAGES
+    )
+    stages = sorted(
+        {stage for stage, _ in cells}, key=_stage_sort_key
+    )
+    chiplets = sorted(
+        {chiplet for _, chiplet in cells if chiplet is not None}
+    )
+    matrix = [
+        [
+            (cells[(stage, chiplet)][1] / cells[(stage, chiplet)][0])
+            if (stage, chiplet) in cells
+            else None
+            for stage in stages
+        ]
+        for chiplet in chiplets
+    ]
+    return {
+        "requests": requests,
+        "total": {
+            "mean": totals.mean,
+            "p50": totals.quantile(0.50),
+            "p95": totals.quantile(0.95),
+            "p99": totals.quantile(0.99),
+            "max": totals.vmax,
+        },
+        "stage_table": stage_table,
+        "queueing": {
+            "queue_cycles": queue,
+            "service_cycles": service,
+            "queue_fraction": queue / (queue + service)
+            if (queue + service)
+            else None,
+        },
+        "heatmap": {
+            "stages": stages,
+            "chiplets": chiplets,
+            "matrix": matrix,
+        },
+    }
+
+
+def _reconcile(report, stage_sum, totals):
+    stage_mean = stage_sum / totals.count if totals.count else None
+    delta = (
+        abs(stage_mean - totals.mean)
+        if stage_mean is not None and totals.mean is not None
+        else None
+    )
+    tolerance = RECONCILE_TOL * max(1.0, totals.mean or 0.0)
+    report["reconciliation"] = {
+        "stage_sum_mean": stage_mean,
+        "total_mean": totals.mean,
+        "delta": delta,
+        "ok": delta is not None and delta <= tolerance,
+    }
+
+
+def format_analysis(report, heatmap=True):
+    """Human-readable rendering of an analyzer report."""
+    lines = []
+    total = report["total"]
+    lines.append(
+        "%d requests; end-to-end latency mean=%.2f p50=%s p95=%s p99=%s"
+        % (
+            report["requests"],
+            total["mean"] or 0.0,
+            _fmt(total["p50"]),
+            _fmt(total["p95"]),
+            _fmt(total["p99"]),
+        )
+    )
+    recon = report["reconciliation"]
+    lines.append(
+        "stage partition: sum of stage means %.4f vs total mean %.4f "
+        "(delta %.2e) -> %s"
+        % (
+            recon["stage_sum_mean"] or 0.0,
+            recon["total_mean"] or 0.0,
+            recon["delta"] if recon["delta"] is not None else float("nan"),
+            "reconciled" if recon["ok"] else "MISMATCH",
+        )
+    )
+    queueing = report["queueing"]
+    if queueing["queue_fraction"] is not None:
+        lines.append(
+            "queueing vs service: %.1f%% of decomposed cycles are waits "
+            "(queue=%.0f service=%.0f)"
+            % (
+                100.0 * queueing["queue_fraction"],
+                queueing["queue_cycles"],
+                queueing["service_cycles"],
+            )
+        )
+    lines.append("")
+    headers = ["stage", "kind", "count", "mean", "p50", "p95", "p99",
+               "cyc/req"]
+    rows = [
+        [
+            entry["stage"],
+            entry["kind"],
+            entry["count"],
+            entry["mean"],
+            entry["p50"],
+            entry["p95"],
+            entry["p99"],
+            entry["per_request"],
+        ]
+        for entry in report["stage_table"]
+    ]
+    lines.append(format_table(headers, rows, float_format="%.2f"))
+    if heatmap and report["heatmap"]["chiplets"]:
+        lines.append("")
+        lines.append("mean cycles per chiplet x stage:")
+        hm = report["heatmap"]
+        hm_headers = ["chiplet"] + list(hm["stages"])
+        hm_rows = [
+            [chiplet] + [
+                value if value is not None else "-"
+                for value in hm["matrix"][index]
+            ]
+            for index, chiplet in enumerate(hm["chiplets"])
+        ]
+        lines.append(format_table(hm_headers, hm_rows, float_format="%.1f"))
+    for entry in report.get("slowest", []):
+        lines.append("")
+        lines.append(
+            "slow request sid=%s vpn=%s origin=%s outcome=%s "
+            "latency=%.1f" % (
+                entry["sid"],
+                entry["vpn"],
+                entry["origin"],
+                entry["outcome"],
+                entry["latency"],
+            )
+        )
+        for segment in entry["path"]:
+            lines.append(
+                "  %-14s %10.1f -> %-10.1f (%6.1f cyc) @ chiplet %s  %s"
+                % (
+                    segment["stage"],
+                    segment["t0"],
+                    segment["t1"],
+                    segment["t1"] - segment["t0"],
+                    segment["chiplet"],
+                    segment["label"],
+                )
+            )
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    return "%.1f" % value if value is not None else "-"
+
+
+def analyze_path(path, run_id=None, top=10):
+    """Dispatch on the artifact type: store file or spans JSONL.
+
+    Returns the report dict; store mode analyzes ``run_id`` (default:
+    the newest run that has digests) and stamps which run it picked.
+    """
+    from repro.stats.diff import STORE_SUFFIXES
+
+    if os.path.splitext(path)[1].lower() in STORE_SUFFIXES:
+        from repro.obs.store import RunStore
+
+        with RunStore(path) as store:
+            if run_id is None:
+                for run in store.list_runs():
+                    if store.digests_for(run["id"]):
+                        run_id = run["id"]
+                        break
+            if run_id is None:
+                raise ValueError(
+                    "%s: no stored run has latency digests" % (path,)
+                )
+            rows = store.digests_for(run_id)
+            if not rows:
+                raise ValueError(
+                    "run %s in %s has no latency digests" % (run_id, path)
+                )
+            report = analyze_digest_rows(rows)
+            report["run_id"] = run_id
+            return report
+    spans = load_spans(path)
+    if not spans:
+        raise ValueError("%s: no complete spans" % (path,))
+    return analyze_spans(spans, top=top)

@@ -41,6 +41,7 @@ import time
 #: Event kinds the stock producers publish (sinks may see others).
 KIND_METRIC = "metric"  # MetricsRecorder epoch row (per chiplet)
 KIND_VIOLATION = "violation"  # AuditProbe invariant violation
+KIND_DIGEST = "digest"  # LatencyProbe per-(stage, chiplet) digest
 KIND_JOB = "job"  # ExperimentRunner job lifecycle (phase field)
 KIND_SWEEP = "sweep"  # ExperimentRunner batch lifecycle
 KIND_BENCH = "bench"  # bench-guard snapshot/result
@@ -173,10 +174,13 @@ class SqliteSink(Sink):
         violations = [
             e for e in events if e.get("kind") == KIND_VIOLATION
         ]
+        digests = [e for e in events if e.get("kind") == KIND_DIGEST]
         if epochs:
             self.store.insert_epochs(self.run_id, epochs)
         if violations:
             self.store.insert_violations(self.run_id, violations)
+        if digests:
+            self.store.insert_digests(self.run_id, digests)
 
 
 class CallbackSink(Sink):

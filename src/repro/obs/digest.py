@@ -1,0 +1,509 @@
+"""Always-on translation-latency anatomy: streaming digests + probe.
+
+Two pieces:
+
+* :class:`LatencyDigest` — a mergeable log-bucketed streaming histogram.
+  ``record`` is O(1) (one ``frexp`` + one dict increment), quantiles are
+  *exact within a bin*: the reported value is the midpoint of the bucket
+  that provably contains the exact-sort quantile, so it differs from an
+  exact-sort oracle by less than one bin width (bins grow by
+  ``2**(1/SUBBINS)`` ≈ 9%, so the error is bounded by ~9% of the value).
+  Digests serialize to plain JSON-able dicts and merge by bucket-count
+  addition, which makes them cheap to ship over the :class:`MetricsBus`
+  and to aggregate across chiplets or runs after the fact.
+
+* :class:`LatencyProbe` — a fully ``__slots__`` probe riding the 19-hook
+  contract (see :mod:`repro.obs.probe`) that decomposes every completed
+  translation into per-``(stage, chiplet)`` digests.  Unlike
+  :class:`TraceProbe` it allocates nothing per request (state lives in
+  the ``TranslationRequest.lat_t`` slot) and is cheap enough to leave on
+  at sweep scale (guarded ≤5% of engine events/s by
+  ``benchmarks/bench_obs_overhead.py``).
+
+Stage taxonomy
+--------------
+
+The probe keeps a *cursor* per request (``req.lat_t``) that starts at
+``req.t0`` and is advanced by every lifecycle hook; each advance records
+``now - cursor`` into one stage.  The cursor stages therefore partition
+the end-to-end translation latency **exactly**:
+
+=============  =========================================================
+Stage          Interval (cursor → now)
+=============  =========================================================
+``route``      fabric traversal: HSL route, re-routes, home forwards
+``l2-queue``   slice arrival → lookup-port grant (contention wait)
+``l2-service`` the fixed ``l2_tlb_latency`` lookup itself
+``mshr-wait``  merged/parked requests: MSHR merge → response
+``walk``       the MSHR leader: lookup miss → response (walker queue +
+               PWC + PTE reads, attributed to the home slice's chiplet)
+``fill``       response departs home slice → arrives at the origin
+=============  =========================================================
+
+``sum(CURSOR_STAGES) == total`` per request by construction;
+:data:`TOTAL_STAGE` records the end-to-end latency so the analyzer can
+reconcile the decomposition against the mean translation latency.
+
+Detail stages ride alongside but are *not* part of the partition (they
+overlap the cursor stages): ``l1`` (the constant L1 TLB lookup that
+precedes ``req.t0``), ``walk-queue`` (walker-pool token wait) and
+``walk-l<N>-local`` / ``walk-l<N>-remote`` (one PTE read per page-table
+level, split by whether the leaf/interior access crossed the fabric —
+the paper's central quantity).
+"""
+
+import math
+from collections import defaultdict
+
+import numpy as np
+
+from repro.obs.probe import Probe
+
+#: Buckets per octave: bin boundaries are 2**(e + s/SUBBINS), so each
+#: bin spans a ~9% value range.  Fixed globally so any two digests merge.
+SUBBINS = 8
+
+#: Hot-stage buffers fold into their digest every this many events.
+#: Bounds probe memory to a few thousand floats per (stage, chiplet)
+#: while amortizing the vectorized binning pass to ~ns per event.
+_FOLD_EVENTS = 4096
+
+#: Cursor stages — per request these partition t0→fill exactly.
+CURSOR_STAGES = ("route", "l2-queue", "l2-service", "mshr-wait", "walk", "fill")
+
+#: The end-to-end digest every completed request lands in.
+TOTAL_STAGE = "total"
+
+#: Stages that measure *waiting* (contention) rather than service; the
+#: analyzer's queueing-vs-service table splits on this set.
+QUEUE_STAGES = frozenset(("l2-queue", "mshr-wait", "walk-queue"))
+
+#: Quantiles persisted with every digest row.
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+def bucket_index(value):
+    """O(1) log-bucket index for ``value`` > 0 (callers handle <= 0)."""
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    # mantissa in [0.5, 1): linear sub-bucket within the octave.
+    return exponent * SUBBINS + int((mantissa - 0.5) * (2 * SUBBINS))
+
+
+def bucket_bounds(index):
+    """``[lo, hi)`` value range of bucket ``index``."""
+    exponent, sub = divmod(index, SUBBINS)
+    base = math.ldexp(1.0, exponent - 1)  # 2**(exponent-1)
+    return (base * (1.0 + sub / SUBBINS), base * (1.0 + (sub + 1) / SUBBINS))
+
+
+def bucket_mid(index):
+    lo, hi = bucket_bounds(index)
+    return (lo + hi) / 2.0
+
+
+class LatencyDigest:
+    """Mergeable log-bucketed streaming latency histogram.
+
+    ``record`` is O(1); memory is O(distinct buckets) (a smoke run's
+    latency range spans a few dozen buckets).  Exact count / sum / min /
+    max are kept alongside the buckets so means stay exact and only the
+    quantiles are bucket-quantized.
+    """
+
+    __slots__ = ("count", "zeros", "total", "vmin", "vmax", "bins")
+
+    def __init__(self):
+        self.count = 0
+        self.zeros = 0  # values <= 0 get their own exact bucket
+        self.total = 0.0
+        self.vmin = None
+        self.vmax = None
+        self.bins = {}  # bucket index -> count
+
+    def record(self, value):
+        self.count += 1
+        self.total += value
+        if value <= 0.0:
+            self.zeros += 1
+            value = 0.0
+        else:
+            bins = self.bins
+            mantissa, exponent = math.frexp(value)
+            index = exponent * SUBBINS + int((mantissa - 0.5) * (2 * SUBBINS))
+            bins[index] = bins.get(index, 0) + 1
+        vmin = self.vmin
+        if vmin is None:
+            self.vmin = self.vmax = value
+        elif value < vmin:
+            self.vmin = value
+        elif value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q):
+        """Lower empirical quantile, exact within one bucket.
+
+        Returns the value at rank ``ceil(q * count) - 1`` of the sorted
+        sample: exactly 0.0 if that rank falls in the zero bucket, else
+        the midpoint of the log bucket containing the oracle value.
+        """
+        if not self.count:
+            return None
+        rank = max(0, int(math.ceil(q * self.count)) - 1)
+        if rank < self.zeros:
+            return 0.0
+        cumulative = self.zeros
+        for index in sorted(self.bins):
+            cumulative += self.bins[index]
+            if cumulative > rank:
+                return bucket_mid(index)
+        return self.vmax  # float-edge fallback; ranks always land above
+
+    def record_constant(self, value, n):
+        """Fold ``n`` occurrences of the same ``value`` in at O(1).
+
+        How the probe affords always-on recording of constant-latency
+        stages (L1 lookup, L2 service): count occurrences on the hot
+        path, fold them into the digest once at read time.
+        """
+        if n <= 0:
+            return
+        self.count += n
+        self.total += value * n
+        if value <= 0.0:
+            self.zeros += n
+            value = 0.0
+        else:
+            index = bucket_index(value)
+            self.bins[index] = self.bins.get(index, 0) + n
+        vmin = self.vmin
+        if vmin is None:
+            self.vmin = self.vmax = value
+        else:
+            if value < vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+
+    def merge(self, other):
+        """Fold ``other`` into this digest (bucket-count addition)."""
+        self.count += other.count
+        self.zeros += other.zeros
+        self.total += other.total
+        for index, n in other.bins.items():
+            self.bins[index] = self.bins.get(index, 0) + n
+        if other.vmin is not None:
+            if self.vmin is None or other.vmin < self.vmin:
+                self.vmin = other.vmin
+            if self.vmax is None or other.vmax > self.vmax:
+                self.vmax = other.vmax
+        return self
+
+    def to_dict(self):
+        """JSON-able snapshot (bucket list sorted for stable output)."""
+        return {
+            "count": self.count,
+            "zeros": self.zeros,
+            "total": self.total,
+            "vmin": self.vmin,
+            "vmax": self.vmax,
+            "bins": sorted(self.bins.items()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        digest = cls()
+        digest.count = int(payload["count"])
+        digest.zeros = int(payload.get("zeros", 0))
+        digest.total = float(payload["total"])
+        digest.vmin = payload.get("vmin")
+        digest.vmax = payload.get("vmax")
+        digest.bins = {int(index): int(n) for index, n in payload["bins"]}
+        return digest
+
+    def __len__(self):
+        return self.count
+
+    def __repr__(self):
+        return "LatencyDigest(count=%d, mean=%s, buckets=%d)" % (
+            self.count,
+            "%.1f" % self.mean if self.count else "-",
+            len(self.bins) + (1 if self.zeros else 0),
+        )
+
+
+class LatencyProbe(Probe):
+    """Per-(stage, chiplet) latency digests, cheap enough to be always-on.
+
+    Fully slotted: every hot hook is slot loads, float arithmetic and a
+    buffer append (folded in bulk by ``_fold``) — no per-request objects
+    (the request-side cursor lives in the ``TranslationRequest.lat_t``
+    slot, and buffers cap at ``_FOLD_EVENTS`` floats).  An MSHR
+    merge flags the cursor by storing ``-cursor - 1`` (always negative,
+    even at t=0) so ``respond`` can classify the closing interval as
+    ``mshr-wait`` versus ``walk`` without a second slot.
+
+    When constructed with a :class:`~repro.obs.bus.MetricsBus`, the
+    probe publishes one ``digest`` event per (stage, chiplet) at
+    ``run_finished`` — :class:`~repro.obs.bus.SqliteSink` lands these in
+    the ``latency_digests`` store table.
+    """
+
+    __slots__ = (
+        "_digests",
+        "bus",
+        "_l1_latency",
+        "_l2_latency",
+        "_route",
+        "_l2q",
+        "_fill",
+        "_total",
+        "_l1_counts",
+        "_l2_counts",
+    )
+
+    def __init__(self, bus=None):
+        super().__init__()
+        self._digests = {}  # (stage, chiplet) -> LatencyDigest
+        self.bus = bus
+        self._l1_latency = 0.0
+        self._l2_latency = 0.0
+        # Hot-path accounting, folded into ``_digests`` lazily by the
+        # ``digests`` property.  The four per-translation stages append
+        # raw values to chiplet-keyed buffers (a list append is the
+        # cheapest O(1) op available) and ``_fold`` drains each buffer
+        # through one vectorized binning pass every ``_FOLD_EVENTS``;
+        # constant-latency stages (L1 lookup, L2 service) get plain
+        # occurrence counters.
+        self._route = defaultdict(list)  # chiplet -> [values...]
+        self._l2q = defaultdict(list)
+        self._fill = defaultdict(list)
+        self._total = defaultdict(list)
+        self._l1_counts = defaultdict(int)  # origin -> completed requests
+        self._l2_counts = defaultdict(int)  # chiplet -> lookups
+
+    def attach(self, sim):
+        super().attach(sim)
+        self._l1_latency = float(sim.params.l1_tlb_latency)
+        self._l2_latency = float(sim.params.l2_tlb_latency)
+
+    @property
+    def digests(self):
+        """``(stage, chiplet) -> LatencyDigest``, hot-path state folded in.
+
+        Draining is idempotent: hot buffers fold into the canonical map
+        and then reset, so interleaving reads with further recording
+        never double-counts.
+        """
+        for stage, hot in (
+            ("route", self._route),
+            ("l2-queue", self._l2q),
+            ("fill", self._fill),
+            (TOTAL_STAGE, self._total),
+        ):
+            for chiplet, buf in hot.items():
+                if buf:
+                    self._fold(stage, chiplet, buf)
+                    buf.clear()
+        for stage, value, counts in (
+            ("l1", self._l1_latency, self._l1_counts),
+            ("l2-service", self._l2_latency, self._l2_counts),
+        ):
+            if counts:
+                for chiplet, n in counts.items():
+                    self._digest(stage, chiplet).record_constant(value, n)
+                counts.clear()
+        return self._digests
+
+    def _digest(self, stage, chiplet):
+        digest = self._digests.get((stage, chiplet))
+        if digest is None:
+            digest = self._digests[(stage, chiplet)] = LatencyDigest()
+        return digest
+
+    def _record(self, stage, chiplet, value):
+        """Cold-stage record (MSHR waits, walks): straight to canonical."""
+        self._digest(stage, chiplet).record(value)
+
+    def _fold(self, stage, chiplet, values):
+        """Vectorized drain of a hot-stage buffer into its digest.
+
+        One numpy pass bins a whole buffer at once, so the per-event
+        hot-path cost is just the list append in the hook — the binning
+        amortizes to a few ns/event.  Semantics match ``record`` exactly
+        (bit-identical ``frexp`` binning; non-positive values count as
+        zeros but still contribute their raw value to ``total``).
+        """
+        digest = self._digest(stage, chiplet)
+        arr = np.asarray(values, dtype=np.float64)
+        n = arr.size
+        digest.count += n
+        digest.total += float(arr.sum())
+        positive = arr[arr > 0.0]
+        zeros = n - positive.size
+        digest.zeros += zeros
+        if positive.size:
+            mantissa, exponent = np.frexp(positive)
+            index = exponent.astype(np.int64) * SUBBINS + (
+                (mantissa - 0.5) * (2 * SUBBINS)
+            ).astype(np.int64)
+            bins = digest.bins
+            for i, c in zip(*(a.tolist() for a in
+                              np.unique(index, return_counts=True))):
+                bins[i] = bins.get(i, 0) + c
+            vmax = float(positive.max())
+            vmin = 0.0 if zeros else float(positive.min())
+        else:
+            vmin = vmax = 0.0
+        if digest.vmin is None:
+            digest.vmin = vmin
+            digest.vmax = vmax
+        else:
+            if vmin < digest.vmin:
+                digest.vmin = vmin
+            if vmax > digest.vmax:
+                digest.vmax = vmax
+
+    # -- request lifecycle (cursor stages) ---------------------------------
+
+    def translation_start(self, req):
+        req.lat_t = req.t0
+
+    def route(self, req, src, dst, depart, arrive, hops=1):
+        cursor = req.lat_t
+        if cursor is None:
+            return
+        if cursor < 0.0:  # routed out of a merged/parked state
+            cursor = -cursor - 1.0
+        buf = self._route[src]
+        buf.append(arrive - cursor)
+        if len(buf) >= _FOLD_EVENTS:
+            self._fold("route", src, buf)
+            buf.clear()
+        req.lat_t = arrive
+
+    def slice_lookup(self, req, chiplet, hit):
+        cursor = req.lat_t
+        if cursor is None:
+            return
+        now = self.engine.now
+        if cursor < 0.0:  # parked by a full MSHR, then retried
+            cursor = -cursor - 1.0
+        buf = self._l2q[chiplet]
+        buf.append(now - self._l2_latency - cursor)
+        if len(buf) >= _FOLD_EVENTS:
+            self._fold("l2-queue", chiplet, buf)
+            buf.clear()
+        self._l2_counts[chiplet] += 1
+        req.lat_t = now
+
+    def mshr_merge(self, req, chiplet):
+        cursor = req.lat_t
+        if cursor is not None and cursor >= 0.0:
+            req.lat_t = -cursor - 1.0  # flag: closing interval is mshr-wait
+
+    def mshr_stall(self, req, chiplet):
+        # Parked requests wait on the same MSHR drain as merged ones.
+        self.mshr_merge(req, chiplet)
+
+    def respond(self, req, entry, walk, chiplet, arrive):
+        cursor = req.lat_t
+        if cursor is None:
+            return
+        now = self.engine.now
+        if cursor < 0.0:
+            self._record("mshr-wait", chiplet, now - (-cursor - 1.0))
+        elif walk is not None:
+            self._record("walk", chiplet, now - cursor)
+        elif now > cursor:  # L2 hits respond at lookup time; keep exact
+            buf = self._l2q[chiplet]
+            buf.append(now - cursor)
+            if len(buf) >= _FOLD_EVENTS:
+                self._fold("l2-queue", chiplet, buf)
+                buf.clear()
+        origin = req.origin
+        # The constant L1 lookup is counted here rather than at
+        # translation_start so the l1 count equals the completed-request
+        # count (matching the span analyzer, which only sees finished
+        # spans).
+        self._l1_counts[origin] += 1
+        buf = self._fill[origin]
+        buf.append(arrive - now)
+        if len(buf) >= _FOLD_EVENTS:
+            self._fold("fill", origin, buf)
+            buf.clear()
+        buf = self._total[origin]
+        buf.append(arrive - req.t0)
+        if len(buf) >= _FOLD_EVENTS:
+            self._fold(TOTAL_STAGE, origin, buf)
+            buf.clear()
+        req.lat_t = None
+
+    # -- walk detail (overlaps the ``walk`` cursor stage) ------------------
+
+    def walk_start(self, record, chiplet):
+        self._record("walk-queue", chiplet, record.t_start - record.t_request)
+
+    def walk_level(self, record, chiplet, level, remote, t0, t1):
+        stage = "walk-l%d-%s" % (level, "remote" if remote else "local")
+        self._record(stage, chiplet, t1 - t0)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run_finished(self, stats):
+        if self.bus is None:
+            return
+        for row in self.digest_rows():
+            self.bus.publish_row("digest", row)
+        self.bus.flush()
+
+    def digest_rows(self):
+        """Digest snapshots as flat bus/store rows (sorted, stable)."""
+        rows = []
+        for (stage, chiplet), digest in sorted(self.digests.items()):
+            row = digest.to_dict()
+            row["stage"] = stage
+            row["chiplet"] = chiplet
+            for q in QUANTILES:
+                row["p%d" % round(q * 100)] = digest.quantile(q)
+            rows.append(row)
+        return rows
+
+
+def hop_stage(cat, name):
+    """Map a TraceProbe hop (cat, name) onto the stage taxonomy.
+
+    ``l2`` hops cover queue+service together (the split needs the slice
+    lookup latency); consumers split them downstream.  MSHR hops are
+    zero-width markers — the wait itself is the gap to the response.
+    """
+    if cat == "walk":
+        if name == "walker_grant":
+            return "walk-queue"
+        if name.startswith("pte_L"):
+            level, _, where = name[len("pte_L"):].partition("_")
+            return "walk-l%s-%s" % (level, where)
+        return "walk"
+    if cat == "mshr":
+        return "mshr-wait"
+    return cat  # l1, route, l2, fill
+
+
+def merge_rows(rows):
+    """Merge digest rows (store/bus dicts) into {stage: LatencyDigest}.
+
+    Collapses the per-chiplet axis; used by ``repro report`` / ``repro
+    diff --tail`` / the analyzer to get machine-wide per-stage digests.
+    """
+    merged = {}
+    for row in rows:
+        stage = row["stage"]
+        digest = LatencyDigest.from_dict(row)
+        if stage in merged:
+            merged[stage].merge(digest)
+        else:
+            merged[stage] = digest
+    return merged

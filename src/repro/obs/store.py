@@ -16,6 +16,11 @@ store file holds:
   time-series (streamed in live through a
   :class:`repro.obs.bus.SqliteSink`);
 * ``violations`` — structured :class:`repro.obs.AuditProbe` records;
+* ``latency_digests`` — per-(stage, chiplet) translation-latency
+  digests from the always-on :class:`repro.obs.digest.LatencyProbe`
+  (serialized log buckets plus precomputed p50/p95/p99), the substrate
+  for ``repro report`` percentiles, ``repro analyze`` and ``repro diff
+  --tail``;
 * ``bench`` — perf-guard snapshots imported from
   ``results/BENCH_engine.json``.
 
@@ -40,8 +45,14 @@ import time
 
 from repro.obs.metrics import FIELDS as METRIC_FIELDS
 
-#: Bump on any table/column change; old stores must fail loudly.
-SCHEMA_VERSION = 1
+#: Bump on any table/column change; old stores must fail loudly unless
+#: an in-place migration is listed in :data:`_MIGRATABLE_VERSIONS`.
+SCHEMA_VERSION = 2
+
+#: Prior schema versions the current build upgrades in place.  Version
+#: 1 -> 2 only *added* the ``latency_digests`` table (created by the
+#: IF-NOT-EXISTS schema pass), so migrating is just restamping ``meta``.
+_MIGRATABLE_VERSIONS = ("1",)
 
 #: Run statuses considered results (included in manifests/reports).
 RESULT_STATUSES = ("done", "cached", "imported")
@@ -103,6 +114,20 @@ _SCHEMA = [
         message TEXT NOT NULL,
         detail TEXT
     )""",
+    """CREATE TABLE IF NOT EXISTS latency_digests (
+        run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+        stage TEXT NOT NULL,
+        chiplet INTEGER,
+        count INTEGER NOT NULL,
+        zeros INTEGER NOT NULL DEFAULT 0,
+        total REAL NOT NULL,
+        vmin REAL, vmax REAL,
+        p50 REAL, p95 REAL, p99 REAL,
+        bins TEXT NOT NULL,
+        PRIMARY KEY (run_id, stage, chiplet)
+    )""",
+    """CREATE INDEX IF NOT EXISTS latency_digests_run
+        ON latency_digests (run_id)""",
     """CREATE TABLE IF NOT EXISTS bench (
         id INTEGER PRIMARY KEY,
         timestamp TEXT,
@@ -176,11 +201,19 @@ class RunStore:
             row = conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
+            version = row["value"] if row else None
+            if version in _MIGRATABLE_VERSIONS:
+                # Additive upgrade: the IF-NOT-EXISTS schema pass above
+                # already created any new tables; restamp and move on.
+                conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
+                )
+                version = str(SCHEMA_VERSION)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
             raise
-        version = row["value"] if row else None
         if version != str(SCHEMA_VERSION):
             # Fail loudly *before* any write touches the tables: an
             # old/unknown store must be migrated or regenerated, never
@@ -332,6 +365,85 @@ class RunStore:
         except BaseException:
             conn.execute("ROLLBACK")
             raise
+
+    def insert_digests(self, run_id, rows):
+        """Append latency-digest rows (LatencyProbe ``digest_rows``/bus
+        ``digest`` events; extra bus stamps are ignored)."""
+        conn = self._conn
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.executemany(
+                "INSERT OR REPLACE INTO latency_digests (run_id, stage,"
+                " chiplet, count, zeros, total, vmin, vmax, p50, p95,"
+                " p99, bins) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run_id,
+                        row["stage"],
+                        row.get("chiplet"),
+                        int(row["count"]),
+                        int(row.get("zeros", 0)),
+                        float(row["total"]),
+                        row.get("vmin"),
+                        row.get("vmax"),
+                        row.get("p50"),
+                        row.get("p95"),
+                        row.get("p99"),
+                        json.dumps(row["bins"]),
+                    )
+                    for row in rows
+                ],
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def digests_for(self, run_id):
+        """Latency-digest rows of one run, ``bins`` JSON-decoded."""
+        out = []
+        for row in self._conn.execute(
+            "SELECT * FROM latency_digests WHERE run_id = ?"
+            " ORDER BY stage, chiplet",
+            (run_id,),
+        ):
+            digest = dict(row)
+            digest["bins"] = json.loads(digest["bins"])
+            out.append(digest)
+        return out
+
+    def latest_run_ids(self, scale="default", sweep_id=None):
+        """The newest result run id per alignment key.
+
+        Same key/newest-wins semantics as :meth:`latest_manifest`, but
+        mapping to run ids so callers can fetch per-run telemetry
+        (digests, epochs) for the gating generation.
+        """
+        clauses = ["status IN (%s)" % ", ".join(
+            "?" for _ in RESULT_STATUSES
+        )]
+        args = list(RESULT_STATUSES)
+        if scale is not None:
+            clauses.append("scale = ?")
+            args.append(scale)
+        if sweep_id is not None:
+            clauses.append("sweep_id = ?")
+            args.append(sweep_id)
+        run_ids = {}
+        for row in self._conn.execute(
+            "SELECT id, workload, design, chiplets, topology, qualifier"
+            " FROM runs WHERE %s ORDER BY id" % " AND ".join(clauses),
+            args,
+        ):
+            key = (
+                row["workload"],
+                row["design"],
+                row["chiplets"],
+                row["topology"],
+                row["qualifier"],
+            )
+            run_ids[key] = row["id"]  # newest wins
+        return run_ids
 
     # -- imports ------------------------------------------------------------
 

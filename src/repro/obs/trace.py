@@ -192,21 +192,48 @@ class TraceProbe(Probe):
     # -- exporters -----------------------------------------------------------------
 
     def chrome_events(self):
-        """The spans + markers as Chrome trace-event dicts."""
+        """The spans + markers as Chrome trace-event dicts.
+
+        Each slice's ``args`` carries the latency-anatomy view of the
+        hop precomputed (the viewer can't do arithmetic): ``dur_cycles``
+        (slice width), the ``stage`` taxonomy label shared with
+        :mod:`repro.obs.digest`, the hop ``detail`` payload, and — for
+        L2 hops, whose width folds wait and lookup together — the
+        ``queue_cycles``/``service_cycles`` split derived from the
+        configured lookup latency.
+        """
+        from repro.obs.digest import hop_stage
+
+        l2_service = None
+        if self.sim is not None:
+            l2_service = float(self.sim.params.l2_tlb_latency)
         events = []
         chiplets = set()
         for span in self.spans:
             for hop in span.hops:
                 chiplets.add(hop.chiplet)
+                dur = hop.t1 - hop.t0
+                args = {
+                    "sid": span.sid,
+                    "vpn": "%#x" % span.vpn,
+                    "stage": hop_stage(hop.cat, hop.name),
+                    "dur_cycles": dur,
+                }
+                if hop.cat == "l2" and l2_service is not None:
+                    service = min(dur, l2_service)
+                    args["queue_cycles"] = dur - service
+                    args["service_cycles"] = service
+                if hop.detail:
+                    args.update(hop.detail)
                 event = {
                     "name": hop.name,
                     "cat": hop.cat,
                     "ph": "X",
                     "ts": hop.t0,
-                    "dur": hop.t1 - hop.t0,
+                    "dur": dur,
                     "pid": hop.chiplet,
                     "tid": span.cu_id,
-                    "args": {"sid": span.sid, "vpn": "%#x" % span.vpn},
+                    "args": args,
                 }
                 events.append(event)
         for t, kind, detail in self.markers:

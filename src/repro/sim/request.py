@@ -25,6 +25,7 @@ class TranslationRequest:
         "cache_locally",
         "span",
         "audit_t",
+        "lat_t",
     )
 
     def __init__(self, vpn, va, origin, cu, t0, callback):
@@ -49,6 +50,11 @@ class TranslationRequest:
         # response is seen).  A slot read/write is what keeps the
         # auditor's hot hooks cheap; see repro.obs.audit.
         self.audit_t = None
+        # Observability: latency-anatomy stage cursor maintained by a
+        # LatencyProbe (last stage-boundary timestamp; negated-minus-one
+        # while the request waits in an MSHR; back to None once the
+        # response is seen); see repro.obs.digest.
+        self.lat_t = None
 
     def __repr__(self):
         return "TranslationRequest(vpn=%#x, origin=%d, t0=%.1f)" % (

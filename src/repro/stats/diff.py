@@ -27,7 +27,11 @@ import json
 import math
 import os
 
-from repro.stats.export import quantize_counters, read_csv
+from repro.stats.export import (
+    quantize_counters,
+    quantize_tail_counters,
+    read_csv,
+)
 
 #: File suffixes treated as sqlite run stores by :func:`load_manifest`.
 STORE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
@@ -56,6 +60,15 @@ DEFAULT_COUNTERS = [
     "cycles_pw_local",
     "cycles_pw_remote",
 ]
+
+#: Tail-latency gating (``repro diff --tail``): the digest quantiles
+#: gated per stage, and the default tolerances.  Percentiles are
+#: bucket-quantized order statistics — far noisier than counter means —
+#: so the defaults are deliberately looser than the 1% counter gate:
+#: a tail violation needs both >10% relative movement and >2 cycles.
+TAIL_QUANTILES = ("p95", "p99")
+TAIL_REL_TOL = 0.10
+TAIL_ABS_TOL = 2.0
 
 #: CSV/JSON fields that identify a row rather than measure it.
 _NON_COUNTER_FIELDS = {
@@ -218,6 +231,96 @@ def load_store_manifest(path, scale="default", sweep_id=None):
     }
 
 
+def tail_counter(stage, quantile):
+    """Counter name one stage quantile gates under (``lat_route_p95``)."""
+    return "lat_%s_%s" % (stage, quantile)
+
+
+def tail_counters_from_digests(rows):
+    """Tail counters of one run from its stored digest rows.
+
+    Chiplets are merged per stage (bucket-count addition), then each
+    :data:`TAIL_QUANTILES` quantile becomes one quantized counter.
+    """
+    from repro.obs.digest import merge_rows
+
+    counters = {}
+    for stage, digest in merge_rows(rows).items():
+        for quantile in TAIL_QUANTILES:
+            value = digest.quantile(int(quantile[1:]) / 100.0)
+            if value is not None:
+                counters[tail_counter(stage, quantile)] = value
+    return quantize_tail_counters(counters)
+
+
+def load_store_tail_manifest(path, scale="default", sweep_id=None):
+    """Tail manifest from a run store: newest digest-bearing run per key.
+
+    Keys whose newest run recorded no digests (e.g. back-filled cache
+    hits) are omitted — a tail gate can only compare what was measured.
+    Missing store files load as ``{}`` like :func:`load_store_manifest`.
+    """
+    from repro.obs.store import RunStore
+
+    if not os.path.exists(path):
+        return {}
+    manifest = {}
+    with RunStore(path) as store:
+        for key, run_id in store.latest_run_ids(
+            scale=scale, sweep_id=sweep_id
+        ).items():
+            rows = store.digests_for(run_id)
+            if rows:
+                manifest[key] = tail_counters_from_digests(rows)
+    return manifest
+
+
+def load_tail_manifest(path, scale="default"):
+    """Load a tail manifest: a run store or a JSON dump.
+
+    The JSON form (written by :func:`write_tail_manifest`) is a list of
+    ``{"key": [workload, design, chiplets, topology, qualifier],
+    "counters": {...}}`` entries; values re-quantize on load so a
+    hand-edited file still compares at manifest precision.
+    """
+    if path.endswith(STORE_SUFFIXES):
+        return load_store_tail_manifest(path, scale=scale)
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise ValueError(
+            "%s: expected a JSON list of tail-manifest entries" % (path,)
+        )
+    manifest = {}
+    for entry in payload:
+        workload, design_name, chiplets, topology, qualifier = entry["key"]
+        key = (
+            workload,
+            design_name,
+            int(chiplets) if chiplets is not None else None,
+            topology,
+            qualifier,
+        )
+        if key in manifest:
+            raise ValueError(
+                "%s: duplicate row for %s; a diff manifest must be "
+                "unambiguous" % (path, _key_label(key))
+            )
+        manifest[key] = quantize_tail_counters(entry["counters"])
+    return manifest
+
+
+def write_tail_manifest(path, manifest):
+    """Dump a tail manifest to the JSON form ``load_tail_manifest`` reads."""
+    payload = [
+        {"key": list(key), "counters": manifest[key]}
+        for key in sorted(manifest, key=_key_label)
+    ]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def load_manifest(path, scale="default"):
     """Load ``path`` as ``{alignment_key: {counter: value}}``.
 
@@ -252,6 +355,7 @@ def compare(
     rel_tol=0.01,
     abs_tol=1e-9,
     counters=None,
+    counter_pool=None,
 ):
     """Diff two loaded manifests; return a structured report dict.
 
@@ -278,6 +382,12 @@ def compare(
         }
     """
     wanted = list(counters) if counters else None
+    # The pool a default (counters=None) comparison intersects shared
+    # row columns with; tail manifests pass their own pool since their
+    # per-stage counters are not in DEFAULT_COUNTERS.
+    pool = set(counter_pool) if counter_pool is not None else set(
+        DEFAULT_COUNTERS
+    )
     seen_counters = set()
     violations = []
     aligned = 0
@@ -289,7 +399,7 @@ def compare(
         aligned += 1
         base_row = baseline[key]
         names = wanted if wanted is not None else sorted(
-            set(base_row) & set(cand_row) & set(DEFAULT_COUNTERS)
+            set(base_row) & set(cand_row) & pool
         )
         for name in names:
             base_value = base_row.get(name)

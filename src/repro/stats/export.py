@@ -74,6 +74,21 @@ def quantize_counters(counters):
     }
 
 
+# Cell precision of the tail-latency counters (``lat_<stage>_p95`` /
+# ``_p99``, cycles).  They are store-only — no CSV carries them — but
+# `repro diff --tail` still quantizes both sides through this format at
+# the manifest boundary, the same contract the scalar counters follow.
+TAIL_COUNTER_FORMAT = "%.1f"
+
+
+def quantize_tail_counters(counters):
+    """Tail-latency counters rounded to their manifest cell precision."""
+    return {
+        name: float(TAIL_COUNTER_FORMAT % value)
+        for name, value in counters.items()
+    }
+
+
 def pack_link_crossings(link_crossings):
     """Pack the per-directed-link histogram into one CSV cell.
 

@@ -82,6 +82,26 @@ class TestBusCore:
         with pytest.raises(RuntimeError):
             bus.publish("metric", i=1)
 
+    def test_publish_after_close_raises_with_empty_buffer(self):
+        """The closed check must not hide behind buffer occupancy."""
+        bus = MetricsBus([CallbackSink(lambda batch: None)], batch_size=2)
+        bus.close()
+        with pytest.raises(RuntimeError):
+            bus.publish("metric", i=0)
+        with pytest.raises(RuntimeError):
+            bus.publish_row("metric", {"i": 0})
+
+    def test_double_close_flushes_exactly_once(self):
+        batches = []
+        bus = MetricsBus([CallbackSink(batches.append)], batch_size=100)
+        bus.publish("metric", i=0)
+        flushed = bus.batches_flushed
+        bus.close()
+        assert bus.batches_flushed == flushed + 1
+        bus.close()  # idempotent: no second flush, no error
+        assert bus.batches_flushed == flushed + 1
+        assert [len(b) for b in batches] == [1]
+
     def test_context_manager_closes(self):
         batches = []
         with MetricsBus([CallbackSink(batches.append)], batch_size=10) as bus:
@@ -123,6 +143,26 @@ class TestStreamSink:
 
     def test_reader_missing_file_is_empty(self, tmp_path):
         assert read_stream(str(tmp_path / "absent.jsonl")) == []
+
+    def test_reader_skips_valid_json_tail_without_newline(self, tmp_path):
+        """A newline-less final line is torn even when it parses.
+
+        ``{"i": 2}`` may be the prefix of a still-in-flight
+        ``{"i": 22}`` — only the trailing newline marks a record
+        complete, so the reader must not be fooled by a tail that
+        happens to be valid JSON.
+        """
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "job", "i": 0}) + "\n")
+            handle.write(json.dumps({"kind": "job", "i": 1}) + "\n")
+            handle.write(json.dumps({"kind": "job", "i": 2}))  # no newline
+        events = read_stream(path)
+        assert [e["i"] for e in events] == [0, 1]
+        # Once the writer completes the record, the reader sees it.
+        with open(path, "a") as handle:
+            handle.write("\n")
+        assert [e["i"] for e in read_stream(path)] == [0, 1, 2]
 
 
 class TestCsvSink:
@@ -166,6 +206,27 @@ class TestSqliteSink:
             (violation,) = store.violations_for(run_id)
             assert violation["kind"] == "mshr_balance"
             assert violation["detail"] == {"chiplet": 0}
+
+    def test_digest_events_land_in_store(self, tmp_path):
+        from repro.obs import LatencyProbe
+
+        path = str(tmp_path / "runs.db")
+        with RunStore(path) as store:
+            run_id = store.begin_run("GUPS", "mgvm", scale="smoke")
+            with MetricsBus([SqliteSink(store, run_id)], batch_size=8) as bus:
+                probe = LatencyProbe(bus=bus)
+                _smoke(probe=probe)
+            store.finish_run(run_id, {"throughput": 1.0})
+            rows = store.digests_for(run_id)
+        assert rows
+        stages = {row["stage"] for row in rows}
+        assert "total" in stages
+        by_key = {(r["stage"], r["chiplet"]): r for r in rows}
+        assert set(by_key) == set(probe.digests)
+        for (stage, chiplet), digest in probe.digests.items():
+            row = by_key[(stage, chiplet)]
+            assert row["count"] == digest.count
+            assert row["p99"] == digest.quantile(0.99)
 
 
 class TestProducers:

@@ -1,0 +1,365 @@
+"""Tests for the latency-anatomy stack (digest/probe/analysis/tail).
+
+Four layers, each with its own contract:
+
+* :class:`LatencyDigest` — log-bucketed streaming histogram: every
+  quantile must land within one bin width of the exact-sort oracle,
+  serialization must round-trip, and merging shards must equal
+  recording into one digest;
+* :class:`LatencyProbe` — the cursor stages must partition end-to-end
+  latency *exactly* (stage sums reconcile with the total mean);
+* the analyzer — span mode and digest mode must agree on the stage
+  aggregates and both must reconcile;
+* tail gating — digests to ``lat_<stage>_<p>`` counters, manifest
+  round-trip, self-compare OK, injected tail delta FAIL.
+"""
+
+import json
+import math
+import random
+import sqlite3
+
+import pytest
+
+from repro.arch.params import scaled_params
+from repro.core.config import design
+from repro.obs import LatencyDigest, LatencyProbe, TraceProbe
+from repro.obs.analysis import (
+    analyze_digest_rows,
+    analyze_spans,
+    format_analysis,
+)
+from repro.obs.digest import (
+    CURSOR_STAGES,
+    SUBBINS,
+    TOTAL_STAGE,
+    bucket_bounds,
+    bucket_index,
+    hop_stage,
+    merge_rows,
+)
+from repro.obs.store import RunStore
+from repro.sim.simulator import simulate
+from repro.stats.diff import (
+    compare,
+    load_tail_manifest,
+    tail_counter,
+    tail_counters_from_digests,
+    write_tail_manifest,
+)
+from repro.workloads.registry import build_kernel
+
+
+def _ring8(workload="SYR2", probe=None):
+    import dataclasses
+
+    params = dataclasses.replace(
+        scaled_params("smoke"), num_chiplets=8, topology="ring"
+    )
+    kernel = build_kernel(workload, scale="smoke")
+    return simulate(kernel, params, design("mgvm"), seed=7, probe=probe)
+
+
+# -- bucket scheme --------------------------------------------------------------
+
+
+class TestBuckets:
+    def test_bounds_bracket_their_values(self):
+        rng = random.Random(11)
+        for _ in range(2000):
+            value = math.exp(rng.uniform(-8, 12))
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value < hi or math.isclose(value, hi)
+
+    def test_bins_are_contiguous_and_monotone(self):
+        indexes = [bucket_index(math.ldexp(1.0, e) * m) for e in range(6)
+                   for m in (1.0, 1.25, 1.5, 1.75)]
+        assert indexes == sorted(indexes)
+        for index in set(indexes):
+            lo, hi = bucket_bounds(index)
+            lo2, _ = bucket_bounds(index + 1)
+            assert math.isclose(hi, lo2)
+
+    def test_relative_width_bounded(self):
+        # SUBBINS sub-buckets per octave: width/lo == 1/SUBBINS... scaled
+        # by the sub-bucket position, never worse than 2/SUBBINS relative.
+        for value in (0.3, 1.0, 7.7, 1234.5):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert (hi - lo) / lo <= 2.0 / SUBBINS + 1e-12
+
+
+# -- digest ---------------------------------------------------------------------
+
+
+def _oracle(values, q):
+    """Lower empirical quantile: the same rank rule the digest uses."""
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[rank]
+
+
+class TestLatencyDigest:
+    @pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+    def test_quantiles_within_one_bin_of_exact_sort(self, q):
+        rng = random.Random(13)
+        # Heavy-tailed mix, like real translation latencies.
+        values = [rng.expovariate(1 / 40.0) for _ in range(5000)]
+        values += [rng.expovariate(1 / 900.0) for _ in range(250)]
+        digest = LatencyDigest()
+        for value in values:
+            digest.record(value)
+        exact = _oracle(values, q)
+        lo, hi = bucket_bounds(bucket_index(exact))
+        approx = digest.quantile(q)
+        assert lo <= approx <= hi, (
+            "q=%.2f: digest %.3f outside the oracle's bin [%.3f, %.3f]"
+            % (q, approx, lo, hi)
+        )
+
+    def test_zeros_tracked_separately(self):
+        digest = LatencyDigest()
+        for _ in range(90):
+            digest.record(0.0)
+        for _ in range(10):
+            digest.record(100.0)
+        assert digest.count == 100
+        assert digest.zeros == 90
+        assert digest.quantile(0.50) == 0.0
+        assert digest.quantile(0.99) > 0.0
+        assert digest.vmin == 0.0 and digest.vmax == 100.0
+
+    def test_serialize_roundtrip(self):
+        rng = random.Random(17)
+        digest = LatencyDigest()
+        for _ in range(1000):
+            digest.record(rng.uniform(0, 500))
+        clone = LatencyDigest.from_dict(digest.to_dict())
+        assert clone.count == digest.count
+        assert clone.zeros == digest.zeros
+        assert clone.total == digest.total
+        assert clone.bins == digest.bins
+        for q in (0.5, 0.95, 0.99):
+            assert clone.quantile(q) == digest.quantile(q)
+        # And survives a JSON round-trip (the store's bins encoding).
+        again = LatencyDigest.from_dict(
+            json.loads(json.dumps(digest.to_dict()))
+        )
+        assert again.bins == digest.bins
+
+    def test_merge_equals_single_digest(self):
+        rng = random.Random(19)
+        values = [rng.expovariate(1 / 80.0) for _ in range(3000)]
+        whole = LatencyDigest()
+        shards = [LatencyDigest() for _ in range(4)]
+        for i, value in enumerate(values):
+            whole.record(value)
+            shards[i % 4].record(value)
+        merged = LatencyDigest()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.count == whole.count
+        assert merged.bins == whole.bins
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.vmin == whole.vmin and merged.vmax == whole.vmax
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == whole.quantile(q)
+
+
+# -- probe: exact stage partition ----------------------------------------------
+
+
+class TestLatencyProbe:
+    def test_cursor_stages_partition_total_exactly(self):
+        probe = LatencyProbe()
+        _ring8(probe=probe)
+        merged = merge_rows(probe.digest_rows())
+        total = merged[TOTAL_STAGE]
+        assert total.count > 1000
+        stage_sum = sum(
+            merged[stage].total for stage in CURSOR_STAGES if stage in merged
+        )
+        # The partition is exact by construction — no tolerance beyond
+        # float accumulation noise over ~1e4 requests.
+        assert stage_sum == pytest.approx(total.total, rel=1e-9)
+
+    def test_all_cursor_flags_unwound(self):
+        probe = LatencyProbe()
+        _ring8(probe=probe)
+        mshr = merge_rows(probe.digest_rows()).get("mshr-wait")
+        assert mshr is not None and mshr.count > 0
+        # Negative stage values would mean a cursor flag leaked through.
+        for digest in probe.digests.values():
+            assert digest.vmin is None or digest.vmin >= 0.0
+
+
+# -- analyzer -------------------------------------------------------------------
+
+
+class TestAnalysis:
+    def test_digest_and_span_modes_agree_and_reconcile(self):
+        latency = LatencyProbe()
+        tracer = TraceProbe()
+        _ring8(probe=latency)
+        _ring8(probe=tracer)
+
+        digest_report = analyze_digest_rows(latency.digest_rows())
+        spans = [span.to_dict() for span in tracer.spans]
+        span_report = analyze_spans(spans)
+
+        assert digest_report["reconciliation"]["ok"]
+        assert span_report["reconciliation"]["ok"]
+        # Same simulation, same seed: stage aggregates must agree.
+        # Compare per-request cycles (total / requests) — robust to the
+        # per-event (digest) vs per-span (trace) counting difference.
+        d_stages = {r["stage"]: r for r in digest_report["stage_table"]}
+        s_stages = {r["stage"]: r for r in span_report["stage_table"]}
+        for stage in ("route", "mshr-wait", "l2-service", "walk-queue"):
+            assert d_stages[stage]["per_request"] == pytest.approx(
+                s_stages[stage]["per_request"], rel=1e-6
+            ), stage
+        # Span latency = probe total + the constant L1 lookup hop.
+        l1 = d_stages["l1"]["mean"]
+        assert span_report["total"]["mean"] == pytest.approx(
+            digest_report["total"]["mean"] + l1, rel=1e-6
+        )
+
+    def test_slowest_drilldown_and_rendering(self):
+        tracer = TraceProbe()
+        _ring8(probe=tracer)
+        report = analyze_spans(
+            [span.to_dict() for span in tracer.spans], top=3
+        )
+        assert len(report["slowest"]) == 3
+        latencies = [entry["latency"] for entry in report["slowest"]]
+        assert latencies == sorted(latencies, reverse=True)
+        for entry in report["slowest"]:
+            assert entry["path"], "drill-down must list critical-path segments"
+        text = format_analysis(report)
+        assert "reconciled" in text
+        assert "queueing" in text
+        for stage in ("route", "mshr-wait"):
+            assert stage in text
+
+    def test_hop_stage_taxonomy(self):
+        assert hop_stage("walk", "walker_grant") == "walk-queue"
+        assert hop_stage("walk", "pte_L3_remote") == "walk-l3-remote"
+        assert hop_stage("walk", "pte_L1_local") == "walk-l1-local"
+        assert hop_stage("mshr", "mshr_merge") == "mshr-wait"
+        assert hop_stage("l2", "l2_hit") == "l2"
+        assert hop_stage("route", "route 0->1 (1 hop(s))") == "route"
+
+
+# -- store persistence + schema migration --------------------------------------
+
+
+class TestStore:
+    def test_digest_rows_roundtrip(self, tmp_path):
+        probe = LatencyProbe()
+        _ring8(probe=probe)
+        path = str(tmp_path / "runs.db")
+        with RunStore(path) as store:
+            run_id = store.begin_run("SYR2", "mgvm", scale="smoke")
+            store.insert_digests(run_id, probe.digest_rows())
+            store.finish_run(run_id, {"throughput": 1.0})
+            rows = store.digests_for(run_id)
+        assert len(rows) == len(probe.digests)
+        merged = merge_rows(rows)
+        direct = merge_rows(probe.digest_rows())
+        for stage, digest in direct.items():
+            assert merged[stage].bins == digest.bins
+            assert merged[stage].count == digest.count
+
+    def test_v1_store_migrates_to_v2(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        # Stamp a fresh store back to v1 and drop the v2 table, as if
+        # written by the previous release.
+        with RunStore(path) as store:
+            run_id = store.begin_run("SYR2", "mgvm", scale="smoke")
+            store.finish_run(run_id, {"throughput": 1.0})
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE latency_digests")
+        conn.execute(
+            "UPDATE meta SET value = '1' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        # Reopening migrates: table recreated, version restamped, and
+        # the old run's scalar results survive.
+        with RunStore(path) as store:
+            assert store.digests_for(run_id) == []
+            store.insert_digests(
+                run_id,
+                [
+                    {
+                        "stage": "total",
+                        "chiplet": 0,
+                        "count": 1,
+                        "zeros": 0,
+                        "total": 5.0,
+                        "vmin": 5.0,
+                        "vmax": 5.0,
+                        "p50": 5.0,
+                        "p95": 5.0,
+                        "p99": 5.0,
+                        "bins": [[40, 1]],
+                    }
+                ],
+            )
+            (row,) = store.digests_for(run_id)
+            assert row["bins"] == [[40, 1]]
+        conn = sqlite3.connect(path)
+        (version,) = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        conn.close()
+        assert version == "2"
+
+
+# -- tail gating ----------------------------------------------------------------
+
+
+class TestTailGate:
+    def _manifest(self, rows):
+        return {("SYR2", "mgvm", 8, "ring", "smoke"):
+                tail_counters_from_digests(rows)}
+
+    def test_counters_quantized_and_named(self):
+        probe = LatencyProbe()
+        _ring8(probe=probe)
+        counters = tail_counters_from_digests(probe.digest_rows())
+        assert tail_counter("total", "p99") == "lat_total_p99"
+        assert "lat_total_p95" in counters
+        assert "lat_total_p99" in counters
+        for value in counters.values():
+            assert value == float("%.1f" % value)
+
+    def test_manifest_roundtrip_and_self_compare(self, tmp_path):
+        probe = LatencyProbe()
+        _ring8(probe=probe)
+        manifest = self._manifest(probe.digest_rows())
+        path = str(tmp_path / "tail.json")
+        write_tail_manifest(path, manifest)
+        loaded = load_tail_manifest(path)
+        assert loaded == manifest
+        pool = {name for row in manifest.values() for name in row}
+        report = compare(
+            manifest, loaded, rel_tol=0.10, abs_tol=2.0, counter_pool=pool
+        )
+        assert report["ok"], report
+
+    def test_injected_tail_delta_fails_gate(self, tmp_path):
+        probe = LatencyProbe()
+        _ring8(probe=probe)
+        manifest = self._manifest(probe.digest_rows())
+        degraded = {
+            key: dict(row) for key, row in manifest.items()
+        }
+        for row in degraded.values():
+            row["lat_total_p99"] = row["lat_total_p99"] * 1.5
+        pool = {name for row in manifest.values() for name in row}
+        report = compare(
+            manifest, degraded, rel_tol=0.10, abs_tol=2.0, counter_pool=pool
+        )
+        assert not report["ok"]
+        violated = {v["counter"] for v in report["violations"]}
+        assert violated == {"lat_total_p99"}

@@ -21,8 +21,24 @@ import inspect
 import os
 
 import repro
-from repro.obs import AuditProbe, MetricsRecorder, MultiProbe, Probe, TraceProbe
+from repro.obs import (
+    AuditProbe,
+    LatencyProbe,
+    MetricsRecorder,
+    MultiProbe,
+    Probe,
+    TraceProbe,
+)
 from repro.obs import probe as probe_module
+
+#: Every concrete probe shipped by repro.obs; contract scans cover all.
+CONCRETE_PROBES = (
+    TraceProbe,
+    MetricsRecorder,
+    AuditProbe,
+    MultiProbe,
+    LatencyProbe,
+)
 
 SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
 
@@ -132,7 +148,7 @@ def test_prebound_hook_attributes_name_real_hooks():
 def test_probe_subclasses_do_not_define_almost_hooks():
     """A public method that fuzzily matches a hook must *be* that hook."""
     problems = []
-    for cls in (TraceProbe, MetricsRecorder, AuditProbe, MultiProbe):
+    for cls in CONCRETE_PROBES:
         for name, member in vars(cls).items():
             if name.startswith("_") or not inspect.isfunction(member):
                 continue
@@ -150,7 +166,7 @@ def test_probe_subclasses_do_not_define_almost_hooks():
 def test_hook_signatures_match_the_protocol():
     """Overridden hooks must accept the protocol's exact signature."""
     mismatched = []
-    for cls in (TraceProbe, MetricsRecorder, AuditProbe, MultiProbe):
+    for cls in CONCRETE_PROBES:
         for name in HOOKS | LIFECYCLE:
             override = vars(cls).get(name)
             if override is None:
@@ -173,3 +189,53 @@ def test_hook_inventory_is_documented():
     assert not missing, (
         "hooks missing from the probe.py docstring table: %s" % missing
     )
+
+
+def test_latency_probe_is_fully_slotted():
+    """The always-on probe must stay ``__dict__``-free.
+
+    LatencyProbe rides every hot hook of every observed run, so an
+    accidental ``__dict__`` (any class in the MRO missing ``__slots__``)
+    would tax each of its millions of attribute reads.  Each overridden
+    hook must also be a real hook — a typo'd name would silently never
+    fire (the fuzzy scan above only catches *near* misses).
+    """
+    for cls in LatencyProbe.__mro__[:-1]:  # object itself has no slots
+        assert "__slots__" in vars(cls), (
+            "%s lacks __slots__ — LatencyProbe instances would grow a "
+            "__dict__" % cls.__name__
+        )
+    probe = LatencyProbe()
+    assert not hasattr(probe, "__dict__")
+    exporters = {"digest_rows"}  # pull API, never fired by the sim
+    overridden = {
+        name
+        for name, member in vars(LatencyProbe).items()
+        if inspect.isfunction(member) and not name.startswith("_")
+    }
+    unknown = overridden - HOOKS - LIFECYCLE - exporters
+    assert not unknown, (
+        "LatencyProbe defines non-hook public methods that would never "
+        "fire: %s" % sorted(unknown)
+    )
+
+
+def test_latency_probe_does_not_perturb_the_simulation():
+    """Instrumented and bare runs must produce identical RunStats."""
+    from repro.arch.params import scaled_params
+    from repro.core.config import design
+    from repro.sim.simulator import simulate
+    from repro.workloads.registry import build_kernel
+
+    def run(probe=None):
+        kernel = build_kernel("GUPS", scale="smoke")
+        return simulate(
+            kernel, scaled_params("smoke"), design("mgvm"), probe=probe
+        )
+
+    bare = run()
+    probe = LatencyProbe()
+    observed = run(probe=probe)
+    assert probe.digests, "the probe must actually have recorded stages"
+    assert bare.summary() == observed.summary()
+    assert bare.miss_cycle_breakdown == observed.miss_cycle_breakdown
